@@ -1,0 +1,120 @@
+// Benchmarks regenerating every experiment table (E1–E12, one per
+// quantitative claim of the paper — see DESIGN.md's per-experiment index)
+// plus end-to-end solver benchmarks. Run:
+//
+//	go test -bench=. -benchmem
+package treesched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched"
+	"treesched/internal/bench"
+)
+
+// benchTable runs one experiment per iteration with a small deterministic
+// config; the table content itself is validated by the harness (panics on
+// infeasible solutions or broken certificates).
+func benchTable(b *testing.B, f func(bench.Config) *bench.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := f(bench.Config{Seed: 1, Quick: true, Trials: 1})
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1TreeUnit(b *testing.B)     { benchTable(b, bench.E1TreeUnitRatios) }
+func BenchmarkE2Rounds(b *testing.B)       { benchTable(b, bench.E2Rounds) }
+func BenchmarkE3Narrow(b *testing.B)       { benchTable(b, bench.E3Narrow) }
+func BenchmarkE4Arbitrary(b *testing.B)    { benchTable(b, bench.E4Arbitrary) }
+func BenchmarkE5LineUnit(b *testing.B)     { benchTable(b, bench.E5LineUnit) }
+func BenchmarkE6LineArb(b *testing.B)      { benchTable(b, bench.E6LineArbitrary) }
+func BenchmarkE7Decomp(b *testing.B)       { benchTable(b, bench.E7Decomp) }
+func BenchmarkE8Steps(b *testing.B)        { benchTable(b, bench.E8Steps) }
+func BenchmarkE9Sequential(b *testing.B)   { benchTable(b, bench.E9Sequential) }
+func BenchmarkE10Capacitated(b *testing.B) { benchTable(b, bench.E10Capacitated) }
+func BenchmarkE11Ablation(b *testing.B)    { benchTable(b, bench.E11DecompAblation) }
+func BenchmarkE12Stages(b *testing.B)      { benchTable(b, bench.E12StageAblation) }
+
+// End-to-end solver benchmarks on a fixed mid-size workload.
+
+func treeWorkload(seed int64, n, demands int, unit bool) *treesched.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := treesched.TreeWorkload{N: n, Trees: 3, Demands: demands, Unit: unit}
+	if !unit {
+		cfg.HMin, cfg.HMax = 0.1, 1.0
+	}
+	return treesched.GenerateTreeProblem(cfg, rng)
+}
+
+func BenchmarkSolveTreeUnit(b *testing.B) {
+	p := treeWorkload(1, 128, 64, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveTreeUnit(p, treesched.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveArbitrary(b *testing.B) {
+	p := treeWorkload(2, 96, 48, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveArbitrary(p, treesched.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveLineUnit(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := treesched.GenerateLineProblem(treesched.LineWorkload{
+		Slots: 128, Resources: 3, Demands: 64, Unit: true, MaxProc: 16,
+	}, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveLineUnit(p, treesched.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveDistributedUnit(b *testing.B) {
+	p := treeWorkload(4, 64, 32, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveDistributedUnit(p, treesched.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveSequential(b *testing.B) {
+	p := treeWorkload(5, 128, 64, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveSequential(p, treesched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveGreedy(b *testing.B) {
+	p := treeWorkload(6, 128, 64, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.SolveGreedy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

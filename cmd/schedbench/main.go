@@ -1,0 +1,71 @@
+// Command schedbench regenerates the experiment tables of EXPERIMENTS.md:
+// one experiment per quantitative claim of the paper (approximation
+// bounds, round complexity, decomposition quality, ablations).
+//
+// Usage:
+//
+//	schedbench [-e all|E1|E2|...|E12] [-trials N] [-quick] [-seed S] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"treesched/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("e", "all", "experiment id (E1..E12) or 'all'")
+		trials = flag.Int("trials", 0, "trials per table cell (0 = default)")
+		quick  = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed   = flag.Int64("seed", 1, "base RNG seed")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
+	runners := map[string]func(bench.Config) *bench.Table{
+		"E1":  bench.E1TreeUnitRatios,
+		"E2":  bench.E2Rounds,
+		"E3":  bench.E3Narrow,
+		"E4":  bench.E4Arbitrary,
+		"E5":  bench.E5LineUnit,
+		"E6":  bench.E6LineArbitrary,
+		"E7":  bench.E7Decomp,
+		"E8":  bench.E8Steps,
+		"E9":  bench.E9Sequential,
+		"E10": bench.E10Capacitated,
+		"E11": bench.E11DecompAblation,
+		"E12": bench.E12StageAblation,
+	}
+
+	var tables []*bench.Table
+	switch strings.ToLower(*exp) {
+	case "all":
+		tables = bench.All(cfg)
+	default:
+		run, ok := runners[strings.ToUpper(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; want E1..E12 or all\n", *exp)
+			os.Exit(2)
+		}
+		tables = []*bench.Table{run(cfg)}
+	}
+
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

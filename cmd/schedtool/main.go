@@ -1,0 +1,256 @@
+// Command schedtool generates, solves and verifies scheduling problems as
+// JSON, exposing the full library from the command line.
+//
+// Usage:
+//
+//	schedtool gen  -kind tree|line [-n 32] [-nets 2] [-demands 20] [-unit]
+//	               [-hmin 0.1] [-hmax 1] [-cap 0] [-seed 1] > problem.json
+//	schedtool solve -algo tree-unit|line-unit|arbitrary|narrow|sequential|
+//	                     exact|greedy|ps|dist-unit|dist-narrow
+//	               [-eps 0.25] [-seed 1] < problem.json
+//	schedtool verify -solution sol.json < problem.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"treesched"
+	"treesched/internal/conflict"
+	"treesched/internal/core"
+	"treesched/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "solve":
+		cmdSolve(os.Args[2:])
+	case "verify":
+		cmdVerify(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: schedtool gen|solve|verify|stats [flags]")
+	os.Exit(2)
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "schedtool:", err)
+	os.Exit(1)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "tree", "tree or line")
+	n := fs.Int("n", 32, "vertices (tree) or timeslots (line)")
+	nets := fs.Int("nets", 2, "number of networks/resources")
+	demands := fs.Int("demands", 20, "number of demands")
+	unit := fs.Bool("unit", false, "unit heights")
+	hmin := fs.Float64("hmin", 0.1, "min height")
+	hmax := fs.Float64("hmax", 1.0, "max height")
+	capac := fs.Float64("cap", 0, "edge capacity (0 = uniform 1)")
+	jitter := fs.Float64("jitter", 0, "capacity jitter")
+	seed := fs.Int64("seed", 1, "rng seed")
+	fs.Parse(args)
+
+	rng := rand.New(rand.NewSource(*seed))
+	var p *treesched.Problem
+	switch *kind {
+	case "tree":
+		p = treesched.GenerateTreeProblem(treesched.TreeWorkload{
+			N: *n, Trees: *nets, Demands: *demands, Unit: *unit,
+			HMin: *hmin, HMax: *hmax, Capacity: *capac, CapJitter: *jitter,
+		}, rng)
+	case "line":
+		p = treesched.GenerateLineProblem(treesched.LineWorkload{
+			Slots: *n, Resources: *nets, Demands: *demands, Unit: *unit,
+			HMin: *hmin, HMax: *hmax, Capacity: *capac, CapJitter: *jitter,
+		}, rng)
+	default:
+		die(fmt.Errorf("unknown kind %q", *kind))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		die(err)
+	}
+}
+
+// solveOutput is the JSON result envelope.
+type solveOutput struct {
+	Algorithm      string               `json:"algorithm"`
+	Profit         float64              `json:"profit"`
+	DualUpperBound float64              `json:"dual_upper_bound,omitempty"`
+	CertifiedRatio float64              `json:"certified_ratio,omitempty"`
+	Bound          float64              `json:"bound,omitempty"`
+	Selected       []treesched.Instance `json:"selected"`
+	Rounds         int                  `json:"rounds,omitempty"`
+	Messages       int64                `json:"messages,omitempty"`
+	Aggregations   int                  `json:"aggregations,omitempty"`
+	// StepsPerStage[k][j] is the first-phase execution profile (with
+	// -trace): while-loop iterations of stage j+1 in epoch k+1.
+	StepsPerStage [][]int `json:"steps_per_stage,omitempty"`
+	RaiseEvents   int     `json:"raise_events,omitempty"`
+	MISPhases     int     `json:"mis_phases,omitempty"`
+}
+
+func cmdSolve(args []string) {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	algo := fs.String("algo", "arbitrary", "algorithm")
+	eps := fs.Float64("eps", 0.25, "epsilon")
+	seed := fs.Uint64("seed", 1, "MIS priority seed")
+	fixed := fs.Bool("fixed", false, "fixed-rounds schedule for dist-* algorithms")
+	trace := fs.Bool("trace", false, "include the first-phase execution profile")
+	fs.Parse(args)
+
+	p := readProblem(os.Stdin)
+	opts := treesched.Options{Epsilon: *eps, Seed: *seed, FixedRounds: *fixed, CollectTrace: *trace}
+	var (
+		res *treesched.Result
+		net *core.DistributedResult
+		err error
+	)
+	switch *algo {
+	case "tree-unit":
+		res, err = treesched.SolveTreeUnit(p, opts)
+	case "line-unit":
+		res, err = treesched.SolveLineUnit(p, opts)
+	case "arbitrary":
+		res, err = treesched.SolveArbitrary(p, opts)
+	case "narrow":
+		res, err = treesched.SolveNarrow(p, opts)
+	case "sequential":
+		res, err = treesched.SolveSequential(p, opts)
+	case "seq-line":
+		res, err = treesched.SolveSequentialLine(p, opts)
+	case "exact":
+		res, err = treesched.SolveExact(p, 0)
+	case "greedy":
+		res, err = treesched.SolveGreedy(p)
+	case "ps":
+		res, err = treesched.SolvePanconesiSozio(p, opts)
+	case "dist-unit":
+		net, err = treesched.SolveDistributedUnit(p, opts)
+		if net != nil {
+			res = net.Result
+		}
+	case "dist-narrow":
+		net, err = treesched.SolveDistributedNarrow(p, opts)
+		if net != nil {
+			res = net.Result
+		}
+	default:
+		die(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		die(err)
+	}
+	if err := treesched.VerifySolution(p, res.Selected); err != nil {
+		die(fmt.Errorf("solver emitted infeasible solution: %w", err))
+	}
+	out := solveOutput{
+		Algorithm:      res.Name,
+		Profit:         res.Profit,
+		DualUpperBound: res.DualUB,
+		CertifiedRatio: res.CertifiedRatio,
+		Bound:          res.Bound,
+		Selected:       res.Selected,
+	}
+	if net != nil {
+		out.Rounds = net.Net.Rounds
+		out.Messages = net.Net.Messages
+		out.Aggregations = net.Net.Aggregations
+	}
+	if res.Trace != nil {
+		out.StepsPerStage = res.Trace.StepsPerStage
+		out.RaiseEvents = len(res.Trace.Events)
+		out.MISPhases = res.Trace.MISPhases
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		die(err)
+	}
+}
+
+func cmdVerify(args []string) {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	solPath := fs.String("solution", "", "path to a solve output JSON")
+	fs.Parse(args)
+	if *solPath == "" {
+		die(fmt.Errorf("verify needs -solution"))
+	}
+	p := readProblem(os.Stdin)
+	data, err := os.ReadFile(*solPath)
+	if err != nil {
+		die(err)
+	}
+	var sol solveOutput
+	if err := json.Unmarshal(data, &sol); err != nil {
+		die(err)
+	}
+	if err := treesched.VerifySolution(p, sol.Selected); err != nil {
+		die(err)
+	}
+	fmt.Printf("feasible: %d demands scheduled, profit %.3f\n", len(sol.Selected), sol.Profit)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs.Parse(args)
+	p := readProblem(os.Stdin)
+	m, err := model.Build(p, model.Options{})
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("kind:          %v\n", p.Kind)
+	fmt.Printf("networks:      %d\n", p.NumNetworks())
+	fmt.Printf("demands:       %d\n", len(p.Demands))
+	fmt.Printf("instances:     %d\n", len(m.Insts))
+	fmt.Printf("edge space:    %d\n", m.EdgeSpace)
+	fmt.Printf("layer groups:  %d\n", m.NumGroups)
+	fmt.Printf("critical ∆:    %d\n", m.Delta)
+	pmin, pmax := p.ProfitRange()
+	fmt.Printf("profit spread: %.3g (%.3g..%.3g)\n", pmax/pmin, pmin, pmax)
+	hmin, hmax := p.HeightRange()
+	fmt.Printf("heights:       %.3g..%.3g (unit=%v)\n", hmin, hmax, p.UnitHeight())
+	cg := conflict.Build(m)
+	edges := 0
+	maxDeg := 0
+	for i := int32(0); int(i) < cg.N; i++ {
+		edges += cg.Degree(i)
+		if cg.Degree(i) > maxDeg {
+			maxDeg = cg.Degree(i)
+		}
+	}
+	fmt.Printf("conflicts:     %d edges, max degree %d\n", edges/2, maxDeg)
+	for q, d := range m.Decomps {
+		fmt.Printf("tree %d:        ideal decomposition depth %d, θ=%d\n", q, d.MaxDepth(), d.PivotSize())
+	}
+}
+
+func readProblem(r io.Reader) *treesched.Problem {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		die(err)
+	}
+	var p treesched.Problem
+	if err := json.Unmarshal(data, &p); err != nil {
+		die(err)
+	}
+	return &p
+}

@@ -1,0 +1,45 @@
+// Distributed: the same scheduling algorithm executed two ways — the fast
+// centralized driver and the real message-passing protocol in which every
+// processor is a goroutine that only talks to processors sharing a
+// resource. The outputs are identical for equal seeds; the distributed run
+// additionally reports communication rounds and messages, which is the
+// complexity currency of the paper (Theorem 5.3's round bound).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"treesched"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+
+	fmt.Println("n (vertices)  rounds  messages  aggregations  profit  == centralized")
+	for _, n := range []int{32, 64, 128, 256} {
+		p := treesched.GenerateTreeProblem(treesched.TreeWorkload{
+			N: n, Trees: 3, Demands: 40, Unit: true,
+		}, rng)
+
+		central, err := treesched.SolveTreeUnit(p, treesched.Options{Epsilon: 0.25, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		distrib, err := treesched.SolveDistributedUnit(p, treesched.Options{Epsilon: 0.25, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := treesched.VerifySolution(p, distrib.Selected); err != nil {
+			log.Fatal(err)
+		}
+		same := math.Abs(central.Profit-distrib.Profit) < 1e-9
+		fmt.Printf("%8d      %6d  %8d  %12d  %6.1f  %v\n",
+			n, distrib.Net.Rounds, distrib.Net.Messages, distrib.Net.Aggregations,
+			distrib.Profit, same)
+	}
+	fmt.Println("\nrounds grow with log(n) (epochs track the ideal decomposition depth ≤ 2⌈log n⌉),")
+	fmt.Println("not with n — the polylogarithmic round complexity of Theorem 5.3.")
+}

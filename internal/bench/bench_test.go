@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"a", "bb"},
+	}
+	tb.Add("x", 1.5)
+	tb.Add("longer", 2)
+	tb.Note("note %d", 7)
+	out := tb.String()
+	for _, want := range []string{"### demo", "| a ", "| bb", "1.500", "longer", "> note 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAllExperimentsQuick runs every experiment in quick mode: each one
+// panics on infeasible output or violated certificates, so this doubles as
+// an end-to-end system test of the full pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take a few seconds")
+	}
+	tables := All(Config{Seed: 1, Quick: true, Trials: 1})
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiment tables, got %d", len(tables))
+	}
+	for _, tb := range tables {
+		out := tb.String()
+		if len(tb.Rows) == 0 {
+			t.Fatalf("experiment %q produced no rows", tb.Title)
+		}
+		if !strings.Contains(out, "|") {
+			t.Fatalf("experiment %q rendered nothing", tb.Title)
+		}
+	}
+}

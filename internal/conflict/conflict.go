@@ -1,0 +1,138 @@
+// Package conflict builds the conflict graph over demand instances (§2):
+// two instances conflict when they belong to the same demand or when they
+// are scheduled on the same network and their paths share an edge.
+//
+// The conflict graph is exactly the graph on which the distributed
+// algorithm computes maximal independent sets (§5, "Distributed
+// Implementation"). Two representations are provided: an explicit
+// adjacency-list Graph, and an Implicit clique cover (one clique per
+// demand, one per edge) that supports Luby-style aggregation without
+// materializing potentially quadratic adjacency.
+package conflict
+
+import (
+	"fmt"
+
+	"treesched/internal/model"
+)
+
+// Graph is an explicit conflict graph over instances 0..N-1.
+type Graph struct {
+	N   int
+	Adj [][]int32
+}
+
+// Implicit is a clique cover of the conflict graph: the members of each
+// demand form a clique, and the instances active on each edge form a
+// clique. Every conflict edge is covered by at least one clique.
+type Implicit struct {
+	N int
+	// DemandCliques[k] and EdgeCliques[k] list instance indices; cliques
+	// of size < 2 are omitted.
+	DemandCliques [][]int32
+	EdgeCliques   [][]int32
+	// CliquesOf[i] lists clique ids containing instance i; demand cliques
+	// come first, edge cliques are offset by len(DemandCliques).
+	CliquesOf [][]int32
+}
+
+// BuildImplicit constructs the clique cover from a compiled model.
+func BuildImplicit(m *model.Model) *Implicit {
+	im := &Implicit{N: len(m.Insts)}
+	edgeInsts := make([][]int32, m.EdgeSpace)
+	for i := range m.Insts {
+		for _, e := range m.Paths[i] {
+			edgeInsts[e] = append(edgeInsts[e], int32(i))
+		}
+	}
+	for _, members := range m.InstsOf {
+		if len(members) >= 2 {
+			im.DemandCliques = append(im.DemandCliques, members)
+		}
+	}
+	for _, members := range edgeInsts {
+		if len(members) >= 2 {
+			im.EdgeCliques = append(im.EdgeCliques, members)
+		}
+	}
+	im.CliquesOf = make([][]int32, im.N)
+	for k, members := range im.DemandCliques {
+		for _, i := range members {
+			im.CliquesOf[i] = append(im.CliquesOf[i], int32(k))
+		}
+	}
+	off := int32(len(im.DemandCliques))
+	for k, members := range im.EdgeCliques {
+		for _, i := range members {
+			im.CliquesOf[i] = append(im.CliquesOf[i], off+int32(k))
+		}
+	}
+	return im
+}
+
+// Clique returns the members of clique id k (demand cliques first).
+func (im *Implicit) Clique(k int32) []int32 {
+	if int(k) < len(im.DemandCliques) {
+		return im.DemandCliques[k]
+	}
+	return im.EdgeCliques[int(k)-len(im.DemandCliques)]
+}
+
+// NumCliques returns the total clique count.
+func (im *Implicit) NumCliques() int {
+	return len(im.DemandCliques) + len(im.EdgeCliques)
+}
+
+// Build materializes the explicit conflict graph from the clique cover.
+// Instances active on a common edge form cliques, so the output can be
+// quadratic in clique sizes; prefer Implicit for large inputs.
+func Build(m *model.Model) *Graph {
+	im := BuildImplicit(m)
+	g := &Graph{N: im.N, Adj: make([][]int32, im.N)}
+	seen := make([]int32, im.N)
+	for i := range seen {
+		seen[i] = -1
+	}
+	for i := int32(0); int(i) < im.N; i++ {
+		seen[i] = i
+		for _, k := range im.CliquesOf[i] {
+			for _, j := range im.Clique(k) {
+				if seen[j] != i {
+					seen[j] = i
+					g.Adj[i] = append(g.Adj[i], j)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Degree returns the degree of instance i.
+func (g *Graph) Degree(i int32) int { return len(g.Adj[i]) }
+
+// VerifyAgainstModel cross-checks the explicit graph against the model's
+// pairwise Conflict predicate. O(N²); for tests.
+func (g *Graph) VerifyAgainstModel(m *model.Model) error {
+	adj := make([]map[int32]bool, g.N)
+	for i := range adj {
+		adj[i] = map[int32]bool{}
+		for _, j := range g.Adj[i] {
+			adj[i][j] = true
+		}
+	}
+	for i := int32(0); int(i) < g.N; i++ {
+		for j := int32(0); int(j) < g.N; j++ {
+			if i == j {
+				continue
+			}
+			want := m.Conflict(i, j)
+			if adj[i][j] != want {
+				return fmt.Errorf("conflict: edge (%d,%d)=%v want %v", i, j, adj[i][j], want)
+			}
+			if adj[i][j] != adj[j][i] {
+				return fmt.Errorf("conflict: asymmetric edge (%d,%d)", i, j)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package conflict
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/gen"
+	"treesched/internal/model"
+)
+
+func buildModel(t testing.TB, seed int64, tree bool) *model.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var m *model.Model
+	var err error
+	if tree {
+		p := gen.TreeProblem(gen.TreeConfig{N: 20, Trees: 3, Demands: 15, Unit: true}, rng)
+		m, err = model.Build(p, model.Options{})
+	} else {
+		p := gen.LineProblem(gen.LineConfig{Slots: 30, Resources: 2, Demands: 12, Unit: true}, rng)
+		m, err = model.Build(p, model.Options{})
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExplicitMatchesPairwisePredicate(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, tree := range []bool{true, false} {
+			m := buildModel(t, seed, tree)
+			g := Build(m)
+			if err := g.VerifyAgainstModel(m); err != nil {
+				t.Fatalf("seed %d tree=%v: %v", seed, tree, err)
+			}
+		}
+	}
+}
+
+func TestImplicitCoversAllConflicts(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		m := buildModel(t, seed, true)
+		im := BuildImplicit(m)
+		// Union of cliques = conflict relation.
+		adj := make([]map[int32]bool, im.N)
+		for i := range adj {
+			adj[i] = map[int32]bool{}
+		}
+		for k := int32(0); int(k) < im.NumCliques(); k++ {
+			members := im.Clique(k)
+			for _, i := range members {
+				for _, j := range members {
+					if i != j {
+						adj[i][j] = true
+					}
+				}
+			}
+		}
+		for i := int32(0); int(i) < im.N; i++ {
+			for j := int32(0); int(j) < im.N; j++ {
+				if i == j {
+					continue
+				}
+				if adj[i][j] != m.Conflict(i, j) {
+					t.Fatalf("seed %d: clique cover edge (%d,%d)=%v, model says %v",
+						seed, i, j, adj[i][j], m.Conflict(i, j))
+				}
+			}
+		}
+		// CliquesOf must be the exact inverse of Clique membership.
+		for i := int32(0); int(i) < im.N; i++ {
+			for _, k := range im.CliquesOf[i] {
+				found := false
+				for _, j := range im.Clique(k) {
+					if j == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("CliquesOf[%d] lists clique %d that does not contain it", i, k)
+				}
+			}
+		}
+	}
+}
+
+func TestDegreeAndEmptyGraph(t *testing.T) {
+	m := buildModel(t, 7, true)
+	g := Build(m)
+	for i := int32(0); int(i) < g.N; i++ {
+		if g.Degree(i) != len(g.Adj[i]) {
+			t.Fatal("Degree mismatch")
+		}
+	}
+}
+
+func BenchmarkBuildExplicit(b *testing.B) {
+	m := buildModel(b, 1, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Build(m)
+	}
+}

@@ -1,0 +1,292 @@
+// Package core implements the paper's primary contribution: the two-phase
+// primal-dual framework (§3.2) and the distributed scheduling algorithms
+// built on it —
+//
+//   - the (7+ε)-approximation for unit-height tree networks (§5, Thm 5.3),
+//   - the (73+ε) narrow-instance and (80+ε) arbitrary-height tree
+//     algorithms (§6, Lemma 6.2, Thm 6.3),
+//   - the (4+ε) unit and (23+ε) arbitrary-height line-network algorithms
+//     with windows (§7, Thms 7.1–7.2),
+//   - the sequential Appendix-A algorithm (∆=2, λ=1; 3-approximation),
+//   - the Panconesi–Sozio single-stage baselines, and
+//   - exact and greedy reference solvers.
+//
+// Every algorithm runs in two interchangeable drivers: a fast centralized
+// driver and a goroutine-per-processor message-passing driver
+// (distributed.go) that produce identical outputs for equal seeds.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"treesched/internal/conflict"
+	"treesched/internal/lp"
+	"treesched/internal/mis"
+	"treesched/internal/model"
+)
+
+// Schedule fixes the first-phase loop structure: epochs (one per layer
+// group), stages within each epoch, and the per-stage satisfaction
+// thresholds (§5).
+type Schedule struct {
+	// Epochs is the number of layer groups ℓmax.
+	Epochs int
+	// Stages is b, the per-epoch stage count.
+	Stages int
+	// Xi is the stage base: after stage j all group instances are
+	// (1−ξ^j)-satisfied. For single-stage (Panconesi–Sozio style)
+	// schedules Xi is unused.
+	Xi float64
+	// Thresholds[j-1] is the satisfaction fraction targeted by stage j.
+	Thresholds []float64
+	// Lambda is the slackness guaranteed once the first phase ends: the
+	// final threshold.
+	Lambda float64
+	// MaxSteps caps the while-loop iterations of one stage as a safety
+	// net; Lemma 5.1 bounds the true count by 1+log2(pmax/pmin).
+	MaxSteps int
+	// SingleStage marks Panconesi–Sozio style schedules, whose step
+	// count per stage grows with 1/ε rather than Lemma 5.1's bound.
+	SingleStage bool
+}
+
+// UnitXi returns the paper's stage base for the unit-height rule with
+// critical sets of size ≤ delta: ξ = 2∆'/(2∆'+1) with ∆' = ∆+1 — 14/15 for
+// trees (∆=6), 8/9 for lines (∆=3).
+func UnitXi(delta int) float64 {
+	dp := float64(delta + 1)
+	return 2 * dp / (2*dp + 1)
+}
+
+// NarrowXi returns the stage base for the narrow rule: ξ = c/(c+hmin) with
+// c = 1+∆². The choice makes the kill argument of Lemma 5.1 double profits:
+// a killed instance satisfies p(d2)/p(d1) ≥ 2ξhmin/((1−ξ)(1+∆²)) ≥ 2.
+func NarrowXi(delta int, hmin float64) float64 {
+	c := 1 + float64(delta*delta)
+	return c / (c + hmin)
+}
+
+// NewSchedule builds the multi-stage schedule of §5: stages until
+// ξ^b ≤ ε, thresholds 1−ξ^j, λ = 1−ξ^b ≥ 1−ε.
+func NewSchedule(m *model.Model, xi, eps float64) Schedule {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: epsilon %g outside (0,1)", eps))
+	}
+	b := 1
+	for math.Pow(xi, float64(b)) > eps {
+		b++
+	}
+	s := Schedule{
+		Epochs: m.NumGroups,
+		Stages: b,
+		Xi:     xi,
+	}
+	for j := 1; j <= b; j++ {
+		s.Thresholds = append(s.Thresholds, 1-math.Pow(xi, float64(j)))
+	}
+	s.Lambda = s.Thresholds[b-1]
+	s.MaxSteps = stepCap(m)
+	return s
+}
+
+// NewSingleStageSchedule builds the Panconesi–Sozio style schedule: one
+// stage per epoch with a fixed threshold λ (their λ = 1/(5+ε)). The step
+// cap is larger than the multi-stage one: single-stage kill chains grow
+// profits by only (1−λ)/(λ(∆+1)) per kill — 1+ε/4 on lines — so the chain
+// length is O((1/ε)·log(pmax/pmin)) rather than O(log(pmax/pmin)).
+func NewSingleStageSchedule(m *model.Model, lambda float64) Schedule {
+	return Schedule{
+		Epochs:      m.NumGroups,
+		Stages:      1,
+		Xi:          lambda,
+		Thresholds:  []float64{lambda},
+		Lambda:      lambda,
+		MaxSteps:    64 * stepCap(m),
+		SingleStage: true,
+	}
+}
+
+// FixedSteps returns the paper's deterministic per-stage step count for
+// multi-stage schedules ("we can count the number of epochs, stages and
+// iterations exactly", §5): Lemma 5.1's 1+log2(pmax/pmin) plus slack for
+// the raise tolerance. Single-stage schedules have no such bound and
+// return 0.
+func (s Schedule) FixedSteps(m *model.Model) int {
+	if s.SingleStage {
+		return 0
+	}
+	spread := 1.0
+	if m.PMin > 0 {
+		spread = m.PMax / m.PMin
+	}
+	return 3 + int(math.Ceil(math.Log2(spread)))
+}
+
+// stepCap returns a generous safety cap on steps per stage: the theory
+// bound is 1+log2(pmax/pmin) (Lemma 5.1); exceeding 8× that plus slack
+// indicates a bug and aborts the run.
+func stepCap(m *model.Model) int {
+	spread := 1.0
+	if m.PMin > 0 {
+		spread = m.PMax / m.PMin
+	}
+	return 8*(2+int(math.Log2(spread))) + 64
+}
+
+// RaiseEvent records one dual raise for trace-based invariant checks.
+type RaiseEvent struct {
+	Inst  int32
+	Delta float64
+	Epoch int
+	Stage int
+	Step  int
+}
+
+// Trace optionally captures the full raise history of a run.
+type Trace struct {
+	Events []RaiseEvent
+	// StepsPerStage[k][j] is the number of while-iterations of stage j+1
+	// in epoch k+1.
+	StepsPerStage [][]int
+	// MISPhases totals Luby phases across all steps.
+	MISPhases int
+}
+
+// Steps returns the total number of steps (framework iterations).
+func (t *Trace) Steps() int {
+	total := 0
+	for _, epoch := range t.StepsPerStage {
+		for _, s := range epoch {
+			total += s
+		}
+	}
+	return total
+}
+
+// StackEntry is one pushed independent set with its schedule position.
+type StackEntry struct {
+	Epoch, Stage, Step int
+	Set                []int32
+}
+
+// implicitThreshold is the instance count above which Phase1 switches from
+// the explicit conflict graph (cliques materialized as adjacency, possibly
+// quadratic) to clique-cover aggregation. The two paths compute identical
+// sets (see mis.LubyFuncImplicit).
+const implicitThreshold = 768
+
+// Phase1 runs the first phase (§3.2/§5) centrally: per epoch and stage,
+// repeatedly find a maximal independent set of the still-unsatisfied group
+// members (via deterministic-priority Luby, seeded), raise them tight, and
+// push the set. It returns the dual assignment and the stack.
+func Phase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
+	duals := lp.NewDuals(m)
+	var misFn func(active []bool, prio func(int32, int) float64) ([]int32, int)
+	if len(m.Insts) > implicitThreshold {
+		im := conflict.BuildImplicit(m)
+		misFn = func(active []bool, prio func(int32, int) float64) ([]int32, int) {
+			return mis.LubyFuncImplicit(im, active, prio)
+		}
+	} else {
+		cg := conflict.Build(m)
+		misFn = func(active []bool, prio func(int32, int) float64) ([]int32, int) {
+			return mis.LubyFunc(cg.Adj, active, prio)
+		}
+	}
+	n := len(m.Insts)
+	active := make([]bool, n)
+	var stack []StackEntry
+	stepCounter := uint64(0)
+
+	for k := 1; k <= sched.Epochs; k++ {
+		var stageSteps []int
+		for j := 1; j <= sched.Stages; j++ {
+			threshold := sched.Thresholds[j-1]
+			steps := 0
+			for {
+				// U = group-k instances that are threshold-unsatisfied.
+				anyActive := false
+				for i := 0; i < n; i++ {
+					active[i] = int(m.Group[i]) == k &&
+						!lp.Satisfied(rule, m, duals, int32(i), threshold)
+					anyActive = anyActive || active[i]
+				}
+				if !anyActive {
+					break
+				}
+				steps++
+				if steps > sched.MaxSteps {
+					return nil, nil, fmt.Errorf("core: stage (%d,%d) exceeded %d steps — kill-chain bound violated", k, j, sched.MaxSteps)
+				}
+				stepCounter++
+				sc := stepCounter
+				set, phases := misFn(active, func(i int32, phase int) float64 {
+					return mis.Priority(seed, i, sc, phase)
+				})
+				if trace != nil {
+					trace.MISPhases += phases
+				}
+				for _, i := range set {
+					delta := rule.Raise(m, duals, i)
+					if trace != nil {
+						trace.Events = append(trace.Events, RaiseEvent{
+							Inst: i, Delta: delta, Epoch: k, Stage: j, Step: steps,
+						})
+					}
+				}
+				stack = append(stack, StackEntry{Epoch: k, Stage: j, Step: steps, Set: set})
+			}
+			stageSteps = append(stageSteps, steps)
+		}
+		if trace != nil {
+			trace.StepsPerStage = append(trace.StepsPerStage, stageSteps)
+		}
+	}
+	return duals, stack, nil
+}
+
+// Phase2 pops the stack in reverse and greedily adds instances that keep
+// the solution feasible (§3.2): at most one instance per demand, and on
+// every edge the selected heights fit within capacity. For unit heights
+// and unit capacities this is exactly edge-disjointness, and for wide
+// instances (h > cap/2) capacity-fit coincides with pairwise conflict, so
+// one implementation serves all variants.
+func Phase2(m *model.Model, stack []StackEntry) []int32 {
+	load := make([]float64, m.EdgeSpace)
+	usedDemand := make([]bool, m.NumDemands)
+	var selected []int32
+	for s := len(stack) - 1; s >= 0; s-- {
+		for _, i := range stack[s].Set {
+			if usedDemand[m.Insts[i].Demand] {
+				continue
+			}
+			h := m.Insts[i].Height
+			fits := true
+			for _, e := range m.Paths[i] {
+				if load[e]+h > m.Cap[e]+lp.Tol {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			usedDemand[m.Insts[i].Demand] = true
+			for _, e := range m.Paths[i] {
+				load[e] += h
+			}
+			selected = append(selected, i)
+		}
+	}
+	sortInt32(selected)
+	return selected
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"treesched/internal/instance"
+	"treesched/internal/model"
+)
+
+// ExactSingleLineUnit solves the special case of one line resource with
+// unit heights exactly in polynomial time by weighted job-interval
+// scheduling DP over the expanded instances: among instances sorted by end
+// slot, best[t] is the maximum profit using slots < t, and each demand may
+// contribute at most one instance.
+//
+// With windows a demand has many instances, so plain interval DP (which
+// could pick two placements of one demand) is only an upper bound; this
+// implementation therefore restricts itself to problems where each demand
+// has exactly one instance (ProcTime == window length). For the general
+// windowed case use Exact. The function exists as an independently-derived
+// optimum for cross-checking the branch-and-bound solver.
+func ExactSingleLineUnit(p *instance.Problem) (*Result, error) {
+	if p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("core: ExactSingleLineUnit on %v problem", p.Kind)
+	}
+	if p.NumResources != 1 {
+		return nil, fmt.Errorf("core: ExactSingleLineUnit needs exactly one resource, got %d", p.NumResources)
+	}
+	if !p.UnitHeight() {
+		return nil, fmt.Errorf("core: ExactSingleLineUnit requires unit heights")
+	}
+	for _, d := range p.Demands {
+		if d.Deadline-d.Release+1 != d.ProcTime {
+			return nil, fmt.Errorf("core: ExactSingleLineUnit requires tight windows (demand %d has slack)", d.ID)
+		}
+	}
+	m, err := model.Build(p, model.Options{})
+	if err != nil {
+		return nil, err
+	}
+	insts := append([]instance.Inst(nil), m.Insts...)
+	sort.Slice(insts, func(a, b int) bool { return insts[a].V < insts[b].V })
+
+	// best[k]: optimum over the first k instances (in end order);
+	// choice[k]: whether instance k-1 is taken in that optimum.
+	n := len(insts)
+	best := make([]float64, n+1)
+	take := make([]int, n+1) // predecessor index when taking, -1 when skipping
+	// lastBefore[k]: largest j ≤ k with insts[j-1].V < insts[k-1].U.
+	for k := 1; k <= n; k++ {
+		// Skip.
+		best[k] = best[k-1]
+		take[k] = -1
+		// Take: find the latest instance ending before this one starts.
+		lo, hi := 0, k-1
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if insts[mid-1].V < insts[k-1].U {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		if v := best[lo] + insts[k-1].Profit; v > best[k] {
+			best[k] = v
+			take[k] = lo
+		}
+	}
+	res := &Result{Name: "exact-interval-dp", Lambda: 1, Bound: 1}
+	for k := n; k > 0; {
+		if take[k] < 0 {
+			k--
+			continue
+		}
+		res.Selected = append(res.Selected, insts[k-1])
+		res.Profit += insts[k-1].Profit
+		k = take[k]
+	}
+	res.DualUB = res.Profit
+	res.CertifiedRatio = 1
+	return res, nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"fmt"
+
+	"treesched/internal/instance"
+	"treesched/internal/lp"
+	"treesched/internal/model"
+	"treesched/internal/treedecomp"
+)
+
+// Result is the outcome of one algorithm run.
+type Result struct {
+	// Name of the algorithm variant.
+	Name string
+	// Selected holds the chosen demand instances (descriptors, so results
+	// from split sub-runs can be merged).
+	Selected []instance.Inst
+	// Profit is the total profit of Selected.
+	Profit float64
+	// DualUB is an upper bound on p(Opt) certified by weak duality:
+	// Σ dual objective / λ over the (sub)runs.
+	DualUB float64
+	// CertifiedRatio = DualUB / Profit ≥ p(Opt)/p(S): an instance-specific
+	// certificate that the approximation bound held.
+	CertifiedRatio float64
+	// Bound is the paper's worst-case guarantee for this variant, e.g.
+	// 7/(1−ε) for unit trees.
+	Bound float64
+	// Lambda is the verified slackness of the final dual assignment.
+	Lambda float64
+	// Trace is the raise history (nil unless requested).
+	Trace *Trace
+	// Model is the compiled model (nil for combined runs; see Parts).
+	Model *model.Model
+	// Parts holds the sub-results of combined (wide/narrow) runs.
+	Parts []*Result
+}
+
+// Options configures a run.
+type Options struct {
+	// Epsilon is the ε of the (c+ε) guarantees. Default 0.25.
+	Epsilon float64
+	// Seed drives the deterministic Luby priorities.
+	Seed uint64
+	// CollectTrace records all raise events (needed by the interference
+	// checker and the E8 experiment).
+	CollectTrace bool
+	// DecompKind overrides the tree decomposition (default ideal) for
+	// ablations.
+	DecompKind treedecomp.Kind
+	// FixedRounds makes the distributed drivers run the paper's
+	// deterministic schedule — exactly FixedSteps steps per stage and a
+	// fixed Luby phase budget — eliminating global aggregations entirely
+	// (§5 "Distributed Implementation": with pmax/pmin known, "we can
+	// count the number of epochs, stages and iterations exactly"). The
+	// execution differs from the adaptive one (different step numbering
+	// feeds the priority function), but all certificates still hold.
+	// Multi-stage schedules only. Ignored by centralized drivers.
+	FixedRounds bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.25
+	}
+	return o
+}
+
+// runPhases executes phase 1 + verification + phase 2 on a compiled model
+// and assembles a Result.
+func runPhases(name string, m *model.Model, rule lp.Rule, sched Schedule, opts Options, bound float64) (*Result, error) {
+	var trace *Trace
+	if opts.CollectTrace {
+		trace = &Trace{}
+	}
+	duals, stack, err := Phase1(m, rule, sched, opts.Seed, trace)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Insts) > 0 {
+		if err := lp.VerifyLambdaSatisfied(rule, m, duals, sched.Lambda); err != nil {
+			return nil, fmt.Errorf("core: %s: slackness certificate failed: %w", name, err)
+		}
+	}
+	sel := Phase2(m, stack)
+	res := &Result{
+		Name:   name,
+		Lambda: sched.Lambda,
+		Bound:  bound,
+		Trace:  trace,
+		Model:  m,
+	}
+	for _, i := range sel {
+		res.Selected = append(res.Selected, m.Insts[i])
+		res.Profit += m.Insts[i].Profit
+	}
+	res.DualUB = lp.DualObjective(rule, m, duals) / sched.Lambda
+	if res.Profit > 0 {
+		res.CertifiedRatio = res.DualUB / res.Profit
+	}
+	return res, nil
+}
+
+// TreeUnit runs the paper's main algorithm (§5, Theorem 5.3): the
+// distributed (7+ε)-approximation for unit-height demands on tree
+// networks, using the ideal tree decomposition (∆=6) and the multi-stage
+// schedule (λ = 1−ε). This entry point uses the fast centralized driver;
+// see DistributedRun for the goroutine message-passing driver.
+func TreeUnit(p *instance.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if p.Kind != instance.KindTree {
+		return nil, fmt.Errorf("core: TreeUnit on %v problem", p.Kind)
+	}
+	if !p.UnitHeight() {
+		return nil, fmt.Errorf("core: TreeUnit requires unit heights; use TreeArbitrary")
+	}
+	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	if err != nil {
+		return nil, err
+	}
+	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
+	bound := float64(m.Delta+1) / sched.Lambda
+	return runPhases("tree-unit", m, lp.Unit{}, sched, opts, bound)
+}
+
+// LineUnit runs the improved unit-height line-network algorithm with
+// windows (§7, Theorem 7.1): ∆=3 length-doubling layers, λ = 1−ε, bound
+// 4+ε (vs Panconesi–Sozio's 20+ε).
+func LineUnit(p *instance.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("core: LineUnit on %v problem", p.Kind)
+	}
+	if !p.UnitHeight() {
+		return nil, fmt.Errorf("core: LineUnit requires unit heights; use LineArbitrary")
+	}
+	m, err := model.Build(p, model.Options{})
+	if err != nil {
+		return nil, err
+	}
+	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
+	bound := float64(m.Delta+1) / sched.Lambda
+	return runPhases("line-unit", m, lp.Unit{}, sched, opts, bound)
+}
+
+// narrowRule selects the capacity-aware rule when the problem declares
+// non-uniform bandwidths.
+func narrowRule(p *instance.Problem) lp.Rule {
+	if p.Capacities != nil {
+		return lp.Capacitated{}
+	}
+	return lp.Narrow{}
+}
+
+// NarrowOnly runs the §6.1 narrow-instance algorithm (Lemma 6.2) on a
+// problem whose demands all have effective height ≤ 1/2. The guarantee is
+// (2∆²+1)/(1−ε): 73+ε on trees, 19+ε on lines.
+func NarrowOnly(p *instance.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	if err != nil {
+		return nil, err
+	}
+	hmin := 1.0
+	for i := range m.Insts {
+		eff := m.EffHeight(int32(i))
+		if eff > 0.5+lp.Tol {
+			return nil, fmt.Errorf("core: NarrowOnly: instance %d has effective height %g > 1/2", i, eff)
+		}
+		if eff < hmin {
+			hmin = eff
+		}
+	}
+	sched := NewSchedule(m, NarrowXi(m.Delta, hmin), opts.Epsilon)
+	bound := float64(2*m.Delta*m.Delta+1) / sched.Lambda
+	return runPhases("narrow", m, narrowRule(p), sched, opts, bound)
+}
+
+// Arbitrary runs the combined arbitrary-height algorithm (§6, Theorem 6.3
+// for trees; §7, Theorem 7.2 for lines): demands are classified wide
+// (effective height > 1/2) or narrow, the unit-height algorithm handles
+// the wide class, the narrow algorithm the rest, and per network the more
+// profitable of the two sub-solutions is kept. Bounds: 80+ε (trees),
+// 23+ε (lines).
+func Arbitrary(p *instance.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	// Demand-level classification keeps every demand entirely in one
+	// class, which the combining step relies on (§6 "Overall Algorithm").
+	wideDemand, err := classifyWide(p, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	wideModel, err := model.Build(p, model.Options{
+		DecompKind: opts.DecompKind,
+		Filter:     func(d instance.Inst) bool { return wideDemand[d.Demand] },
+	})
+	if err != nil {
+		return nil, err
+	}
+	narrowModel, err := model.Build(p, model.Options{
+		DecompKind: opts.DecompKind,
+		Filter:     func(d instance.Inst) bool { return !wideDemand[d.Demand] },
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var parts []*Result
+	if len(wideModel.Insts) > 0 {
+		sched := NewSchedule(wideModel, UnitXi(wideModel.Delta), opts.Epsilon)
+		r, err := runPhases("wide", wideModel, lp.Unit{}, sched, opts,
+			float64(wideModel.Delta+1)/sched.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	if len(narrowModel.Insts) > 0 {
+		hmin := 1.0
+		for i := range narrowModel.Insts {
+			if eff := narrowModel.EffHeight(int32(i)); eff < hmin {
+				hmin = eff
+			}
+		}
+		sched := NewSchedule(narrowModel, NarrowXi(narrowModel.Delta, hmin), opts.Epsilon)
+		r, err := runPhases("narrow", narrowModel, narrowRule(p), sched, opts,
+			float64(2*narrowModel.Delta*narrowModel.Delta+1)/sched.Lambda)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, r)
+	}
+	return combinePerNetwork(p, "arbitrary", parts)
+}
+
+// classifyWide returns, per demand, whether any of its instances has
+// effective height > 1/2. With uniform capacities this is simply
+// h(a) > 1/2 as in §6.
+func classifyWide(p *instance.Problem, opts Options) ([]bool, error) {
+	full, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	if err != nil {
+		return nil, err
+	}
+	wide := make([]bool, len(p.Demands))
+	for i := range full.Insts {
+		if full.EffHeight(int32(i)) > 0.5+lp.Tol {
+			wide[full.Insts[i].Demand] = true
+		}
+	}
+	return wide, nil
+}
+
+// combinePerNetwork merges sub-results by keeping, for every network, the
+// sub-solution with higher profit on that network (§6 "Overall
+// Algorithm"). Feasibility holds because each sub-solution is feasible per
+// network and the classes partition the demands.
+func combinePerNetwork(p *instance.Problem, name string, parts []*Result) (*Result, error) {
+	res := &Result{Name: name, Parts: parts, Lambda: 1}
+	if len(parts) == 0 {
+		return res, nil
+	}
+	if len(parts) == 1 {
+		only := parts[0]
+		return &Result{
+			Name: name, Selected: only.Selected, Profit: only.Profit,
+			DualUB: only.DualUB, CertifiedRatio: only.CertifiedRatio,
+			Bound: only.Bound, Lambda: only.Lambda, Parts: parts,
+		}, nil
+	}
+	r := p.NumNetworks()
+	profitOn := make([][]float64, len(parts))
+	for pi, part := range parts {
+		profitOn[pi] = make([]float64, r)
+		for _, d := range part.Selected {
+			profitOn[pi][d.Net] += d.Profit
+		}
+	}
+	for q := 0; q < r; q++ {
+		best := 0
+		for pi := range parts {
+			if profitOn[pi][q] > profitOn[best][q] {
+				best = pi
+			}
+		}
+		for _, d := range parts[best].Selected {
+			if int(d.Net) == q {
+				res.Selected = append(res.Selected, d)
+				res.Profit += d.Profit
+			}
+		}
+	}
+	res.Bound = 0
+	for _, part := range parts {
+		res.DualUB += part.DualUB
+		res.Bound += part.Bound
+		if part.Lambda < res.Lambda {
+			res.Lambda = part.Lambda
+		}
+	}
+	if res.Profit > 0 {
+		res.CertifiedRatio = res.DualUB / res.Profit
+	}
+	return res, nil
+}
+
+// PanconesiSozioUnit is the baseline of [15,16] reformulated in the
+// framework (see the paper's Remark after Theorem 5.3): the same
+// length-doubling layered decomposition but a single stage per epoch with
+// fixed threshold λ = 1/(5+ε), giving the guarantee 4(5+ε) = 20+ε on line
+// networks. It is restricted to lines (∆=3): single-stage kill chains grow
+// profits by (4+ε)/(∆+1) per kill, which only exceeds 1 when ∆ ≤ 3 —
+// exactly why [16] could not go beyond line networks and the multi-stage
+// schedule of §5 is needed for trees. The arbitrary-height baseline of
+// [16] is not reproduced: the supplied text does not specify its raise
+// rule (see DESIGN.md).
+func PanconesiSozioUnit(p *instance.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("core: PanconesiSozioUnit is a line-network baseline (got %v)", p.Kind)
+	}
+	if !p.UnitHeight() {
+		return nil, fmt.Errorf("core: PanconesiSozioUnit requires unit heights")
+	}
+	m, err := model.Build(p, model.Options{})
+	if err != nil {
+		return nil, err
+	}
+	lambda := 1 / (5 + opts.Epsilon)
+	sched := NewSingleStageSchedule(m, lambda)
+	bound := float64(m.Delta+1) / lambda
+	return runPhases("panconesi-sozio-unit", m, lp.Unit{}, sched, opts, bound)
+}

@@ -1,0 +1,366 @@
+// Package gen generates workloads for tests, examples and the experiment
+// harness: random tree-network problems (§2) and line-network problems
+// with windows (§7), with controllable profit spread, height distribution,
+// accessibility density and network shape.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesched/internal/graph"
+	"treesched/internal/instance"
+)
+
+// TreeShape selects the topology family of generated trees.
+type TreeShape int
+
+const (
+	// ShapeRandom draws uniform labelled trees (Prüfer).
+	ShapeRandom TreeShape = iota
+	// ShapeBinary draws random max-degree-3 trees.
+	ShapeBinary
+	// ShapeCaterpillar builds caterpillars (half spine, half legs).
+	ShapeCaterpillar
+	// ShapePath builds path graphs (degenerate trees = lines).
+	ShapePath
+	// ShapeStar builds stars (all demands collide at the hub).
+	ShapeStar
+	// ShapeSpider builds spiders with 4 legs.
+	ShapeSpider
+)
+
+func (s TreeShape) String() string {
+	switch s {
+	case ShapeRandom:
+		return "random"
+	case ShapeBinary:
+		return "binary"
+	case ShapeCaterpillar:
+		return "caterpillar"
+	case ShapePath:
+		return "path"
+	case ShapeStar:
+		return "star"
+	case ShapeSpider:
+		return "spider"
+	default:
+		return fmt.Sprintf("TreeShape(%d)", int(s))
+	}
+}
+
+// MakeTree builds one tree of the given shape on n vertices.
+func MakeTree(shape TreeShape, n int, rng *rand.Rand) *graph.Tree {
+	switch shape {
+	case ShapeRandom:
+		return graph.RandomTree(n, rng)
+	case ShapeBinary:
+		return graph.RandomBinaryTree(n, rng)
+	case ShapeCaterpillar:
+		spine := (n + 1) / 2
+		return graph.Caterpillar(spine, n-spine)
+	case ShapePath:
+		return graph.NewPath(n)
+	case ShapeStar:
+		return graph.NewStar(n)
+	case ShapeSpider:
+		legs := 4
+		legLen := (n - 1) / legs
+		if legLen < 1 {
+			return graph.NewStar(n)
+		}
+		sp := graph.Spider(legs, legLen)
+		if sp.N() == n {
+			return sp
+		}
+		// Round n down to the spider size by falling back to random.
+		return graph.RandomTree(n, rng)
+	default:
+		panic("gen: unknown shape " + shape.String())
+	}
+}
+
+// TreeConfig parameterizes TreeProblem.
+type TreeConfig struct {
+	N       int       // vertices per tree
+	Trees   int       // number of tree-networks r
+	Demands int       // number of demands/processors m
+	Shape   TreeShape // topology family (default ShapeRandom)
+
+	// Unit forces height 1 for all demands. Otherwise heights are drawn
+	// uniformly from [HMin, HMax] (defaults 0.1, 1.0).
+	Unit       bool
+	HMin, HMax float64
+
+	// PMin, PMax bound the uniform profit draw (defaults 1, 10).
+	PMin, PMax float64
+
+	// AccessProb is the probability a processor can access each tree
+	// (≥ 1 access is always guaranteed). Default 0.5.
+	AccessProb float64
+
+	// LocalBias, when positive, draws demand endpoints at tree distance
+	// ≤ LocalBias of each other when possible, producing short paths.
+	LocalBias int
+
+	// Capacity, when > 0, assigns every edge capacity Capacity.
+	// CapJitter adds ±CapJitter uniform noise per edge (non-uniform
+	// bandwidths, the IPPS'13 scope).
+	Capacity  float64
+	CapJitter float64
+}
+
+func (c *TreeConfig) fill() {
+	if c.PMin == 0 && c.PMax == 0 {
+		c.PMin, c.PMax = 1, 10
+	}
+	if c.HMin == 0 && c.HMax == 0 {
+		c.HMin, c.HMax = 0.1, 1.0
+	}
+	if c.AccessProb == 0 {
+		c.AccessProb = 0.5
+	}
+}
+
+// TreeProblem generates a random tree-network problem.
+func TreeProblem(cfg TreeConfig, rng *rand.Rand) *instance.Problem {
+	cfg.fill()
+	p := &instance.Problem{Kind: instance.KindTree, NumVertices: cfg.N}
+	for q := 0; q < cfg.Trees; q++ {
+		p.Trees = append(p.Trees, MakeTree(cfg.Shape, cfg.N, rng))
+	}
+	if cfg.Capacity > 0 {
+		p.Capacities = make([][]float64, cfg.Trees)
+		for q := range p.Capacities {
+			p.Capacities[q] = make([]float64, cfg.N)
+			for e := range p.Capacities[q] {
+				c := cfg.Capacity
+				if cfg.CapJitter > 0 {
+					c += (rng.Float64()*2 - 1) * cfg.CapJitter
+					if c < 0.05 {
+						c = 0.05
+					}
+				}
+				p.Capacities[q][e] = c
+			}
+		}
+	}
+	for i := 0; i < cfg.Demands; i++ {
+		u := rng.Intn(cfg.N)
+		v := rng.Intn(cfg.N)
+		if cfg.LocalBias > 0 {
+			// Walk a short random path from u (distances measured on the
+			// first tree). A walk that returns to u takes one extra step
+			// to a neighbor, keeping the distance bound.
+			v = u
+			steps := 1 + rng.Intn(cfg.LocalBias)
+			t := p.Trees[0]
+			for s := 0; s < steps; s++ {
+				nb := t.Adj(v)
+				v = int(nb[rng.Intn(len(nb))])
+			}
+			if v == u {
+				nb := t.Adj(u)
+				v = int(nb[rng.Intn(len(nb))])
+			}
+		}
+		for v == u {
+			v = rng.Intn(cfg.N)
+		}
+		h := 1.0
+		if !cfg.Unit {
+			h = cfg.HMin + rng.Float64()*(cfg.HMax-cfg.HMin)
+		}
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, U: u, V: v,
+			Profit: cfg.PMin + rng.Float64()*(cfg.PMax-cfg.PMin),
+			Height: h,
+			Access: accessSet(cfg.Trees, cfg.AccessProb, rng),
+		})
+	}
+	return p
+}
+
+// LineConfig parameterizes LineProblem.
+type LineConfig struct {
+	Slots     int // timeline length n
+	Resources int // resource count r
+	Demands   int // demand count m
+
+	Unit       bool
+	HMin, HMax float64
+	PMin, PMax float64
+	AccessProb float64
+
+	// MaxProc caps processing times (default Slots/4, at least 1).
+	MaxProc int
+	// Slack is the extra window length beyond the processing time
+	// (window = proctime + Uniform[0,Slack]). Default Slots/4.
+	Slack int
+
+	Capacity  float64
+	CapJitter float64
+}
+
+func (c *LineConfig) fill() {
+	if c.PMin == 0 && c.PMax == 0 {
+		c.PMin, c.PMax = 1, 10
+	}
+	if c.HMin == 0 && c.HMax == 0 {
+		c.HMin, c.HMax = 0.1, 1.0
+	}
+	if c.AccessProb == 0 {
+		c.AccessProb = 0.5
+	}
+	if c.MaxProc == 0 {
+		c.MaxProc = c.Slots / 4
+	}
+	if c.MaxProc < 1 {
+		c.MaxProc = 1
+	}
+	if c.Slack == 0 {
+		c.Slack = c.Slots / 4
+	}
+}
+
+// LineProblem generates a random line-network (windows) problem.
+func LineProblem(cfg LineConfig, rng *rand.Rand) *instance.Problem {
+	cfg.fill()
+	p := &instance.Problem{
+		Kind:         instance.KindLine,
+		NumSlots:     cfg.Slots,
+		NumResources: cfg.Resources,
+	}
+	if cfg.Capacity > 0 {
+		p.Capacities = make([][]float64, cfg.Resources)
+		for q := range p.Capacities {
+			p.Capacities[q] = make([]float64, cfg.Slots)
+			for e := range p.Capacities[q] {
+				c := cfg.Capacity
+				if cfg.CapJitter > 0 {
+					c += (rng.Float64()*2 - 1) * cfg.CapJitter
+					if c < 0.05 {
+						c = 0.05
+					}
+				}
+				p.Capacities[q][e] = c
+			}
+		}
+	}
+	for i := 0; i < cfg.Demands; i++ {
+		rho := 1 + rng.Intn(cfg.MaxProc)
+		if rho > cfg.Slots {
+			rho = cfg.Slots
+		}
+		window := rho + rng.Intn(cfg.Slack+1)
+		if window > cfg.Slots {
+			window = cfg.Slots
+		}
+		rt := rng.Intn(cfg.Slots - window + 1)
+		h := 1.0
+		if !cfg.Unit {
+			h = cfg.HMin + rng.Float64()*(cfg.HMax-cfg.HMin)
+		}
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, Release: rt, Deadline: rt + window - 1, ProcTime: rho,
+			Profit: cfg.PMin + rng.Float64()*(cfg.PMax-cfg.PMin),
+			Height: h,
+			Access: accessSet(cfg.Resources, cfg.AccessProb, rng),
+		})
+	}
+	return p
+}
+
+// accessSet draws a non-empty subset of 0..r-1.
+func accessSet(r int, prob float64, rng *rand.Rand) []int {
+	var out []int
+	for q := 0; q < r; q++ {
+		if rng.Float64() < prob {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{rng.Intn(r)}
+	}
+	return out
+}
+
+// AdversarialHub builds a workload designed to push the algorithms toward
+// their worst case: a star-of-paths (spider) in which every demand has one
+// endpoint on leg 0 and the other on a different leg, so every path uses
+// leg 0's hub edge and all demands on a network pairwise conflict.
+// Profits spread geometrically so that kill chains actually occur; OPT is
+// a single demand per network and primal-dual slack accumulates maximally.
+func AdversarialHub(legs, legLen, networks, demands int, rng *rand.Rand) *instance.Problem {
+	p := &instance.Problem{Kind: instance.KindTree, NumVertices: 1 + legs*legLen}
+	for q := 0; q < networks; q++ {
+		p.Trees = append(p.Trees, graph.Spider(legs, legLen))
+	}
+	for i := 0; i < demands; i++ {
+		// Leg l occupies vertices 1+l·legLen .. (l+1)·legLen, with
+		// 1+l·legLen adjacent to the hub. Every leg-0 vertex reaches any
+		// other leg through edge (1, hub).
+		l2 := 1 + rng.Intn(legs-1)
+		u := 1 + rng.Intn(legLen)
+		v := 1 + l2*legLen + rng.Intn(legLen)
+		var access []int
+		for q := 0; q < networks; q++ {
+			if rng.Intn(2) == 0 {
+				access = append(access, q)
+			}
+		}
+		if len(access) == 0 {
+			access = []int{rng.Intn(networks)}
+		}
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, U: u, V: v,
+			// Geometric profits: doubling chains are realizable.
+			Profit: math.Pow(2, float64(i%10)),
+			Height: 1,
+			Access: access,
+		})
+	}
+	return p
+}
+
+// PaperFigure1Problem reproduces Figure 1: one line resource, three
+// demands A, B, C with heights 0.5, 0.7, 0.4 positioned so that {A,C} and
+// {B,C} fit but {A,B} overlap with total height 1.2 > 1.
+func PaperFigure1Problem() *instance.Problem {
+	return &instance.Problem{
+		Kind:         instance.KindLine,
+		NumSlots:     10,
+		NumResources: 1,
+		Demands: []instance.Demand{
+			// A: height 0.5, slots [1,5].
+			{ID: 0, Release: 1, Deadline: 5, ProcTime: 5, Profit: 5, Height: 0.5, Access: []int{0}},
+			// B: height 0.7, slots [3,8] — overlaps A on [3,5].
+			{ID: 1, Release: 3, Deadline: 8, ProcTime: 6, Profit: 6, Height: 0.7, Access: []int{0}},
+			// C: height 0.4, slots [0,2] — fits beside A (0.5+0.4 ≤ 1)
+			// and is disjoint from B, so {A,C} and {B,C} both fit.
+			{ID: 2, Release: 0, Deadline: 2, ProcTime: 3, Profit: 4, Height: 0.4, Access: []int{0}},
+		},
+	}
+}
+
+// PaperFigure2Problem reproduces Figure 2: the tree with demands ⟨1,10⟩,
+// ⟨2,3⟩, ⟨12,13⟩ all sharing edge ⟨4,5⟩; unit heights mean only one can be
+// scheduled, while heights (0.4, 0.7, 0.3) let the first and third
+// coexist.
+func PaperFigure2Problem(unit bool) *instance.Problem {
+	h := []float64{0.4, 0.7, 0.3}
+	if unit {
+		h = []float64{1, 1, 1}
+	}
+	return &instance.Problem{
+		Kind:        instance.KindTree,
+		NumVertices: 14,
+		Trees:       []*graph.Tree{graph.PaperFigure2Tree()},
+		Demands: []instance.Demand{
+			{ID: 0, U: 1, V: 10, Profit: 3, Height: h[0], Access: []int{0}},
+			{ID: 1, U: 2, V: 3, Profit: 2, Height: h[1], Access: []int{0}},
+			{ID: 2, U: 12, V: 13, Profit: 1, Height: h[2], Access: []int{0}},
+		},
+	}
+}

@@ -1,0 +1,156 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"treesched/internal/instance"
+)
+
+func TestTreeProblemAlwaysValid(t *testing.T) {
+	f := func(seed int64, rawN, rawR, rawM uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := TreeConfig{
+			N:       2 + int(rawN)%60,
+			Trees:   1 + int(rawR)%4,
+			Demands: 1 + int(rawM)%30,
+		}
+		p := TreeProblem(cfg, rng)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineProblemAlwaysValid(t *testing.T) {
+	f := func(seed int64, rawN, rawR, rawM uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := LineConfig{
+			Slots:     2 + int(rawN)%80,
+			Resources: 1 + int(rawR)%4,
+			Demands:   1 + int(rawM)%30,
+		}
+		p := LineProblem(cfg, rng)
+		return p.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllShapesProduceRequestedSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []TreeShape{ShapeRandom, ShapeBinary, ShapeCaterpillar, ShapePath, ShapeStar} {
+		for _, n := range []int{2, 7, 33} {
+			tr := MakeTree(shape, n, rng)
+			if tr.N() != n {
+				t.Fatalf("%v: got %d vertices, want %d", shape, tr.N(), n)
+			}
+		}
+	}
+	// Spider rounds to its own size; just require validity.
+	if tr := MakeTree(ShapeSpider, 13, rng); tr.N() < 2 {
+		t.Fatal("spider degenerate")
+	}
+}
+
+func TestUnitFlagForcesHeightOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := TreeProblem(TreeConfig{N: 10, Trees: 2, Demands: 20, Unit: true}, rng)
+	if !p.UnitHeight() {
+		t.Fatal("Unit workload has non-unit heights")
+	}
+}
+
+func TestHeightAndProfitRangesRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := TreeProblem(TreeConfig{
+		N: 12, Trees: 1, Demands: 50, HMin: 0.2, HMax: 0.4, PMin: 5, PMax: 6,
+	}, rng)
+	for _, d := range p.Demands {
+		if d.Height < 0.2 || d.Height > 0.4 {
+			t.Fatalf("height %g outside [0.2,0.4]", d.Height)
+		}
+		if d.Profit < 5 || d.Profit > 6 {
+			t.Fatalf("profit %g outside [5,6]", d.Profit)
+		}
+	}
+}
+
+func TestCapacityGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := TreeProblem(TreeConfig{N: 10, Trees: 2, Demands: 5, Capacity: 2, CapJitter: 0.5}, rng)
+	if p.Capacities == nil {
+		t.Fatal("capacities not generated")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range p.Capacities {
+		for e := 1; e < len(row); e++ {
+			if row[e] < 1.5-1e-9 || row[e] > 2.5+1e-9 {
+				t.Fatalf("capacity %g outside jitter band", row[e])
+			}
+		}
+	}
+}
+
+func TestLocalBiasShortensPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := TreeProblem(TreeConfig{N: 60, Trees: 1, Demands: 40, LocalBias: 2, Unit: true}, rng)
+	for _, d := range p.Demands {
+		if dist := p.Trees[0].Dist(d.U, d.V); dist > 2 {
+			t.Fatalf("LocalBias 2 produced path of length %d", dist)
+		}
+	}
+}
+
+func TestAdversarialHubAllConflict(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := AdversarialHub(4, 3, 2, 12, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts := p.Expand()
+	// Every pair of instances on the same network must overlap (all
+	// paths cross the hub).
+	for i := range insts {
+		for j := range insts {
+			if i != j && insts[i].Net == insts[j].Net {
+				if !p.Overlap(insts[i], insts[j]) {
+					t.Fatalf("instances %d,%d on net %d do not overlap", i, j, insts[i].Net)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperProblemsValidate(t *testing.T) {
+	if err := PaperFigure1Problem().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperFigure2Problem(true).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperFigure2Problem(false).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpansionDeterminism(t *testing.T) {
+	mk := func() *instance.Problem {
+		rng := rand.New(rand.NewSource(42))
+		return LineProblem(LineConfig{Slots: 30, Resources: 2, Demands: 15}, rng)
+	}
+	a, b := mk().Expand(), mk().Expand()
+	if len(a) != len(b) {
+		t.Fatal("expansion size differs across identical seeds")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("instance %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, n int, edges [][2]int) *Tree {
+	t.Helper()
+	tr, err := NewTree(n, edges)
+	if err != nil {
+		t.Fatalf("NewTree(%d): %v", n, err)
+	}
+	return tr
+}
+
+func TestNewTreeValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     int
+		edges [][2]int
+	}{
+		{"too few edges", 3, [][2]int{{0, 1}}},
+		{"too many edges", 2, [][2]int{{0, 1}, {0, 1}}},
+		{"self loop", 2, [][2]int{{1, 1}}},
+		{"cycle", 3, [][2]int{{0, 1}, {1, 2}, {2, 0}}[:2:2]},
+		{"out of range", 2, [][2]int{{0, 5}}},
+		{"disconnected", 4, [][2]int{{0, 1}, {2, 3}, {3, 2}}},
+		{"zero vertices", 0, nil},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if c.name == "cycle" {
+				// A 3-cycle has 3 edges on 3 vertices: rejected by count;
+				// build a 4-vertex graph with a real cycle instead.
+				if _, err := NewTree(4, [][2]int{{0, 1}, {1, 2}, {2, 1}}); err == nil {
+					t.Fatal("cycle accepted")
+				}
+				return
+			}
+			if _, err := NewTree(c.n, c.edges); err == nil {
+				t.Fatalf("NewTree(%d, %v) accepted invalid input", c.n, c.edges)
+			}
+		})
+	}
+}
+
+func TestSingleVertexTree(t *testing.T) {
+	tr := mustTree(t, 1, nil)
+	if tr.N() != 1 || tr.NumEdges() != 0 {
+		t.Fatalf("got N=%d edges=%d", tr.N(), tr.NumEdges())
+	}
+	if tr.LCA(0, 0) != 0 || tr.Dist(0, 0) != 0 {
+		t.Fatal("trivial queries wrong on single vertex")
+	}
+}
+
+func TestPathTreeBasics(t *testing.T) {
+	tr := NewPath(10)
+	if d := tr.Dist(0, 9); d != 9 {
+		t.Fatalf("Dist(0,9)=%d want 9", d)
+	}
+	if l := tr.LCA(3, 7); l != 3 {
+		t.Fatalf("LCA(3,7)=%d want 3 (path rooted at 0)", l)
+	}
+	if !tr.OnPath(2, 8, 5) || tr.OnPath(2, 8, 1) {
+		t.Fatal("OnPath wrong on path graph")
+	}
+	edges := tr.PathEdges(3, 6)
+	if len(edges) != 3 {
+		t.Fatalf("PathEdges(3,6) len=%d want 3", len(edges))
+	}
+	if m := tr.Median(1, 9, 4); m != 4 {
+		t.Fatalf("Median(1,9,4)=%d want 4", m)
+	}
+}
+
+func TestStarBasics(t *testing.T) {
+	tr := NewStar(8)
+	if d := tr.Dist(3, 5); d != 2 {
+		t.Fatalf("Dist(3,5)=%d want 2", d)
+	}
+	if l := tr.LCA(3, 5); l != 0 {
+		t.Fatalf("LCA(3,5)=%d want 0", l)
+	}
+	if m := tr.Median(1, 2, 3); m != 0 {
+		t.Fatalf("Median(1,2,3)=%d want 0", m)
+	}
+	// Leaves 1..7 all have the center as the single wing vertex.
+	w := tr.Wings(3, 5, 0)
+	if len(w) != 2 {
+		t.Fatalf("Wings at center: %v want 2 edges", w)
+	}
+}
+
+// bruteDist computes distance by BFS, for cross-checking.
+func bruteDist(tr *Tree, u, v int) int {
+	dist := make([]int, tr.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[u] = 0
+	queue := []int{u}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		if x == v {
+			return dist[x]
+		}
+		for _, w := range tr.Adj(x) {
+			if dist[w] < 0 {
+				dist[w] = dist[x] + 1
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return dist[v]
+}
+
+// brutePathVerts computes the path vertex set by walking parent pointers.
+func brutePathVerts(tr *Tree, u, v int) map[int]bool {
+	set := map[int]bool{}
+	for _, x := range tr.PathVertices(u, v) {
+		set[int(x)] = true
+	}
+	return set
+}
+
+func TestQueriesAgainstBruteForceOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(60)
+		tr := RandomTree(n, rng)
+		for q := 0; q < 40; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if got, want := tr.Dist(u, v), bruteDist(tr, u, v); got != want {
+				t.Fatalf("n=%d Dist(%d,%d)=%d want %d", n, u, v, got, want)
+			}
+			verts := tr.PathVertices(u, v)
+			if len(verts) != tr.Dist(u, v)+1 {
+				t.Fatalf("PathVertices length %d vs dist %d", len(verts), tr.Dist(u, v))
+			}
+			if int(verts[0]) != u || int(verts[len(verts)-1]) != v {
+				t.Fatalf("PathVertices endpoints %v for (%d,%d)", verts, u, v)
+			}
+			// Consecutive path vertices must be adjacent.
+			for i := 1; i < len(verts); i++ {
+				if tr.EdgeBetween(int(verts[i-1]), int(verts[i])) < 0 {
+					t.Fatalf("non-adjacent consecutive path vertices %d,%d", verts[i-1], verts[i])
+				}
+			}
+			edges := tr.PathEdges(u, v)
+			if len(edges) != tr.Dist(u, v) {
+				t.Fatalf("PathEdges length %d vs dist %d", len(edges), tr.Dist(u, v))
+			}
+			// OnPath must agree with the materialized path.
+			onPath := brutePathVerts(tr, u, v)
+			x := rng.Intn(n)
+			if tr.OnPath(u, v, x) != onPath[x] {
+				t.Fatalf("OnPath(%d,%d,%d) mismatch", u, v, x)
+			}
+			// Every path edge must satisfy EdgeOnPath; a random non-path
+			// edge must not.
+			for _, e := range edges {
+				if !tr.EdgeOnPath(u, v, e) {
+					t.Fatalf("EdgeOnPath false for materialized path edge %d", e)
+				}
+			}
+		}
+	}
+}
+
+func TestMedianProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(50)
+		tr := RandomTree(n, rng)
+		for q := 0; q < 50; q++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			m := tr.Median(a, b, c)
+			// The median lies on all three pairwise paths.
+			if !tr.OnPath(a, b, m) || !tr.OnPath(a, c, m) || !tr.OnPath(b, c, m) {
+				t.Fatalf("median %d of (%d,%d,%d) not on all paths", m, a, b, c)
+			}
+			// And it is the unique such vertex: check by brute force.
+			count := 0
+			for x := 0; x < n; x++ {
+				if tr.OnPath(a, b, x) && tr.OnPath(a, c, x) && tr.OnPath(b, c, x) {
+					count++
+				}
+			}
+			if count != 1 {
+				t.Fatalf("expected unique median for (%d,%d,%d), found %d", a, b, c, count)
+			}
+		}
+	}
+}
+
+// bruteOverlap checks edge-intersection of two paths by materializing them.
+func bruteOverlap(tr *Tree, a, b, c, d int) bool {
+	set := map[EdgeID]bool{}
+	for _, e := range tr.PathEdges(a, b) {
+		set[e] = true
+	}
+	for _, e := range tr.PathEdges(c, d) {
+		if set[e] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPathsOverlapAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		tr := RandomTree(n, rng)
+		for q := 0; q < 100; q++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			c, d := rng.Intn(n), rng.Intn(n)
+			if got, want := tr.PathsOverlap(a, b, c, d), bruteOverlap(tr, a, b, c, d); got != want {
+				t.Fatalf("PathsOverlap(%d,%d | %d,%d)=%v want %v (n=%d)", a, b, c, d, got, want, n)
+			}
+		}
+	}
+}
+
+func TestWings(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		tr := RandomTree(n, rng)
+		for q := 0; q < 50; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			verts := tr.PathVertices(u, v)
+			y := verts[rng.Intn(len(verts))]
+			w := tr.Wings(u, v, int(y))
+			wantLen := 2
+			if int(y) == u || int(y) == v {
+				wantLen = 1
+			}
+			if len(w) != wantLen {
+				t.Fatalf("Wings(%d,%d,%d) = %v, want %d edges", u, v, y, w, wantLen)
+			}
+			for _, e := range w {
+				if !tr.EdgeOnPath(u, v, e) {
+					t.Fatalf("wing %d not on path(%d,%d)", e, u, v)
+				}
+				a, b := tr.EdgeEndpoints(e)
+				if a != int(y) && b != int(y) {
+					t.Fatalf("wing %d not incident to %d", e, y)
+				}
+			}
+		}
+	}
+}
+
+func TestBendingPointDefinition(t *testing.T) {
+	// The bending point of path(u,v) w.r.t. w is the unique y on the path
+	// such that path(w,y) avoids every other vertex of path(u,v) (§4.4).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(40)
+		tr := RandomTree(n, rng)
+		for q := 0; q < 40; q++ {
+			u, v, w := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			y := tr.Median(w, u, v)
+			if !tr.OnPath(u, v, y) {
+				t.Fatalf("bending point %d not on path(%d,%d)", y, u, v)
+			}
+			// No other path vertex may appear strictly inside path(w,y).
+			for _, x := range tr.PathVertices(u, v) {
+				if int(x) == y {
+					continue
+				}
+				if tr.OnPath(w, y, int(x)) {
+					t.Fatalf("path(%d,%d) hits path vertex %d before bending point %d", w, y, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestAncestorAndLCAEdge(t *testing.T) {
+	tr := CompleteBinaryTree(31)
+	if a := tr.Ancestor(30, 0); a != 30 {
+		t.Fatalf("Ancestor(30,0)=%d", a)
+	}
+	if a := tr.Ancestor(30, 100); a != 0 {
+		t.Fatalf("Ancestor(30,100)=%d want root", a)
+	}
+	if l := tr.LCA(7, 8); l != 3 {
+		t.Fatalf("LCA(7,8)=%d want 3", l)
+	}
+	if l := tr.LCA(15, 22); l != 1 {
+		t.Fatalf("LCA(15,22)=%d want 1", l)
+	}
+}
+
+func TestSubtreeAndEdges(t *testing.T) {
+	tr := CompleteBinaryTree(7)
+	sub := tr.Subtree(1)
+	if len(sub) != 3 {
+		t.Fatalf("Subtree(1) = %v want {1,3,4}", sub)
+	}
+	seen := map[int32]bool{}
+	for _, v := range sub {
+		seen[v] = true
+	}
+	if !seen[1] || !seen[3] || !seen[4] {
+		t.Fatalf("Subtree(1) = %v want {1,3,4}", sub)
+	}
+	if len(tr.Edges()) != 6 {
+		t.Fatalf("Edges() len=%d", len(tr.Edges()))
+	}
+}
+
+func TestGeneratorShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if tr := RandomBinaryTree(50, rng); tr.N() != 50 {
+		t.Fatal("RandomBinaryTree size")
+	} else {
+		for v := 0; v < 50; v++ {
+			if tr.Degree(v) > 3 {
+				t.Fatalf("RandomBinaryTree degree(%d)=%d > 3", v, tr.Degree(v))
+			}
+		}
+	}
+	if tr := Caterpillar(5, 12); tr.N() != 17 {
+		t.Fatal("Caterpillar size")
+	}
+	if tr := Spider(3, 4); tr.N() != 13 || tr.Degree(0) != 3 {
+		t.Fatal("Spider shape")
+	}
+	if tr := CompleteBinaryTree(15); tr.Depth(14) != 3 {
+		t.Fatal("CompleteBinaryTree depth")
+	}
+}
+
+func TestPaperFigureTrees(t *testing.T) {
+	t.Run("figure6", func(t *testing.T) {
+		tr := PaperFigure6Tree()
+		// "The demand instance ⟨4,13⟩ passes through nodes 2 and 8; it
+		// also passes through LCA(2,8) = 5" (Figure 3 discussion).
+		for _, x := range []int{2, 5, 8} {
+			if !tr.OnPath(4, 13, x) {
+				t.Fatalf("path(4,13) misses %d", x)
+			}
+		}
+		// "With respect to nodes 3 and 9, the bending points of the
+		// demand d = ⟨4,13⟩ are 2 and 5."
+		if y := tr.Median(3, 4, 13); y != 2 {
+			t.Fatalf("bending point wrt 3 = %d want 2", y)
+		}
+		if y := tr.Median(9, 4, 13); y != 5 {
+			t.Fatalf("bending point wrt 9 = %d want 5", y)
+		}
+		// "With respect to path(d), node 4 has only one wing ⟨4,2⟩,
+		// while node 8 has two wings ⟨5,8⟩ and ⟨8,13⟩."
+		if w := tr.Wings(4, 13, 4); len(w) != 1 {
+			t.Fatalf("wings at endpoint 4: %v", w)
+		}
+		if w := tr.Wings(4, 13, 8); len(w) != 2 {
+			t.Fatalf("wings at 8: %v", w)
+		}
+	})
+	t.Run("figure2", func(t *testing.T) {
+		tr := PaperFigure2Tree()
+		// All three demands share edge ⟨4,5⟩.
+		e := tr.EdgeBetween(4, 5)
+		if e < 0 {
+			t.Fatal("edge 4-5 missing")
+		}
+		for _, d := range [][2]int{{1, 10}, {2, 3}, {12, 13}} {
+			if !tr.EdgeOnPath(d[0], d[1], e) {
+				t.Fatalf("demand %v does not cross edge 4-5", d)
+			}
+		}
+	})
+}
+
+func TestRandomTreeIsUniformishAndValid(t *testing.T) {
+	// Property-based: any seed yields a valid tree whose queries are
+	// self-consistent.
+	f := func(seed int64, rawN uint8) bool {
+		n := 1 + int(rawN)%64
+		rng := rand.New(rand.NewSource(seed))
+		tr := RandomTree(n, rng)
+		if tr.N() != n || tr.NumEdges() != n-1 {
+			return false
+		}
+		for q := 0; q < 10; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			l := tr.LCA(u, v)
+			if !tr.OnPath(u, v, l) {
+				return false
+			}
+			if tr.Dist(u, l)+tr.Dist(l, v) != tr.Dist(u, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLCA(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := RandomTree(4096, rng)
+	us := make([]int, 1024)
+	vs := make([]int, 1024)
+	for i := range us {
+		us[i], vs[i] = rng.Intn(4096), rng.Intn(4096)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % len(us)
+		_ = tr.LCA(us[k], vs[k])
+	}
+}
+
+func BenchmarkPathEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tr := RandomTree(4096, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.PathEdges(i%4096, (i*2654435761)%4096)
+	}
+}

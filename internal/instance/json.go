@@ -1,0 +1,65 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"treesched/internal/graph"
+)
+
+// problemJSON is the wire form of a Problem; trees are stored as edge lists.
+type problemJSON struct {
+	Kind         string      `json:"kind"`
+	NumVertices  int         `json:"num_vertices,omitempty"`
+	TreeEdges    [][][2]int  `json:"tree_edges,omitempty"`
+	NumSlots     int         `json:"num_slots,omitempty"`
+	NumResources int         `json:"num_resources,omitempty"`
+	Demands      []Demand    `json:"demands"`
+	Capacities   [][]float64 `json:"capacities,omitempty"`
+}
+
+// MarshalJSON encodes the problem with trees as edge lists.
+func (p *Problem) MarshalJSON() ([]byte, error) {
+	w := problemJSON{
+		Kind:         p.Kind.String(),
+		NumVertices:  p.NumVertices,
+		NumSlots:     p.NumSlots,
+		NumResources: p.NumResources,
+		Demands:      p.Demands,
+		Capacities:   p.Capacities,
+	}
+	for _, t := range p.Trees {
+		w.TreeEdges = append(w.TreeEdges, t.Edges())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form and rebuilds the trees.
+func (p *Problem) UnmarshalJSON(data []byte) error {
+	var w problemJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	switch w.Kind {
+	case "tree":
+		p.Kind = KindTree
+	case "line":
+		p.Kind = KindLine
+	default:
+		return fmt.Errorf("instance: unknown kind %q", w.Kind)
+	}
+	p.NumVertices = w.NumVertices
+	p.NumSlots = w.NumSlots
+	p.NumResources = w.NumResources
+	p.Demands = w.Demands
+	p.Capacities = w.Capacities
+	p.Trees = nil
+	for q, edges := range w.TreeEdges {
+		t, err := graph.NewTree(w.NumVertices, edges)
+		if err != nil {
+			return fmt.Errorf("instance: tree %d: %w", q, err)
+		}
+		p.Trees = append(p.Trees, t)
+	}
+	return p.Validate()
+}

@@ -1,0 +1,166 @@
+// Package layered implements the layered decompositions of §4.4 and §7: an
+// ordering of the demand instances into groups G1..Gℓ together with a
+// critical edge set π(d) per instance, satisfying the layering property —
+// for i ≤ j and overlapping d1 ∈ Gi, d2 ∈ Gj, path(d2) contains at least
+// one edge of π(d1).
+//
+// Two constructions are provided:
+//
+//   - Trees (Lemma 4.2): groups by decreasing capture depth in a tree
+//     decomposition; π(d) = wings of the capture node plus wings of the
+//     bending points w.r.t. the component's pivots; ∆ = 2(θ+1). With the
+//     ideal decomposition: ∆ = 6, ℓ = O(log n).
+//   - Lines (§7, implicit in Panconesi–Sozio): groups by length doubling;
+//     π(d) = {start, mid, end} timeslots; ∆ = 3, ℓ = ⌈log(Lmax/Lmin)⌉+1.
+package layered
+
+import (
+	"fmt"
+	"math/bits"
+
+	"treesched/internal/graph"
+	"treesched/internal/instance"
+	"treesched/internal/treedecomp"
+)
+
+// Assignment attaches a group (1-based epoch index) and a critical edge set
+// (global edge ids) to every demand instance, parallel to the instance
+// slice it was built from.
+type Assignment struct {
+	Group     []int32
+	Pi        [][]int32
+	NumGroups int
+	// Delta is the maximum critical-set size |π(d)| observed.
+	Delta int
+}
+
+// ForTrees builds the Lemma 4.2 layered decomposition for a tree problem,
+// given one tree decomposition per tree. Group 1 holds the instances
+// captured at the deepest decomposition nodes of their respective trees.
+func ForTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition) (*Assignment, error) {
+	return forTrees(p, insts, decomps, false)
+}
+
+// ForTreesCaptureWings builds the Appendix-A ordering: the same
+// depth-based groups, but π(d) holds only the wings of the capture node
+// µ(d) on path(d), so ∆ ≤ 2 (Observation A.1). Valid for the sequential
+// algorithm, which processes one tree at a time; the distributed layered
+// property across same-depth captures of different nodes does NOT hold
+// for these critical sets.
+func ForTreesCaptureWings(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition) (*Assignment, error) {
+	return forTrees(p, insts, decomps, true)
+}
+
+func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition, wingsOnly bool) (*Assignment, error) {
+	if p.Kind != instance.KindTree {
+		return nil, fmt.Errorf("layered: ForTrees on %v problem", p.Kind)
+	}
+	if len(decomps) != len(p.Trees) {
+		return nil, fmt.Errorf("layered: %d decompositions for %d trees", len(decomps), len(p.Trees))
+	}
+	a := &Assignment{
+		Group: make([]int32, len(insts)),
+		Pi:    make([][]int32, len(insts)),
+	}
+	for i, d := range insts {
+		dec := decomps[d.Net]
+		z := dec.Capture(int(d.U), int(d.V))
+		// Deepest captures go first: group = ℓ_q − depth(z) + 1.
+		g := int32(dec.MaxDepth() - dec.Depth(z) + 1)
+		a.Group[i] = g
+		if int(g) > a.NumGroups {
+			a.NumGroups = int(g)
+		}
+		var local []graph.EdgeID
+		if wingsOnly {
+			local = p.Trees[d.Net].Wings(int(d.U), int(d.V), z)
+		} else {
+			local = dec.CriticalEdges(int(d.U), int(d.V))
+		}
+		pi := make([]int32, len(local))
+		for k, e := range local {
+			pi[k] = p.GlobalEdge(int(d.Net), e)
+		}
+		a.Pi[i] = pi
+		if len(pi) > a.Delta {
+			a.Delta = len(pi)
+		}
+	}
+	return a, nil
+}
+
+// ForLines builds the §7 length-doubling layered decomposition for a line
+// problem. Instances of length in [2^(i-1)·Lmin, 2^i·Lmin) form group i;
+// π(d) = {start, mid, end} timeslots of the instance.
+func ForLines(p *instance.Problem, insts []instance.Inst) (*Assignment, error) {
+	if p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("layered: ForLines on %v problem", p.Kind)
+	}
+	a := &Assignment{
+		Group: make([]int32, len(insts)),
+		Pi:    make([][]int32, len(insts)),
+	}
+	lmin := int32(0)
+	for i, d := range insts {
+		if l := d.Len(); i == 0 || l < lmin {
+			lmin = l
+		}
+	}
+	for i, d := range insts {
+		// group = ⌊log2(len/Lmin)⌋ + 1.
+		g := int32(bits.Len32(uint32(d.Len() / lmin)))
+		a.Group[i] = g
+		if int(g) > a.NumGroups {
+			a.NumGroups = int(g)
+		}
+		mid := (d.U + d.V) / 2
+		pi := []int32{p.GlobalEdge(int(d.Net), d.U)}
+		if mid != d.U {
+			pi = append(pi, p.GlobalEdge(int(d.Net), mid))
+		}
+		if d.V != d.U && d.V != mid {
+			pi = append(pi, p.GlobalEdge(int(d.Net), d.V))
+		}
+		a.Pi[i] = pi
+		if len(pi) > a.Delta {
+			a.Delta = len(pi)
+		}
+	}
+	return a, nil
+}
+
+// Verify brute-force checks the layering property over all instance pairs:
+// for any overlapping d1 ∈ Gi, d2 ∈ Gj with i ≤ j, path(d2) must include a
+// critical edge of d1. O(|D|² · path length); for tests and experiments.
+func Verify(p *instance.Problem, insts []instance.Inst, a *Assignment) error {
+	paths := make([]map[int32]bool, len(insts))
+	for i := range insts {
+		m := map[int32]bool{}
+		for _, e := range p.PathEdges(insts[i]) {
+			m[e] = true
+		}
+		paths[i] = m
+	}
+	for i := range insts {
+		for j := range insts {
+			if i == j || a.Group[i] > a.Group[j] {
+				continue
+			}
+			if !p.Overlap(insts[i], insts[j]) {
+				continue
+			}
+			hit := false
+			for _, e := range a.Pi[i] {
+				if paths[j][e] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return fmt.Errorf("layered: overlapping d%d (group %d) and d%d (group %d): path(d%d) misses π(d%d)=%v",
+					i, a.Group[i], j, a.Group[j], j, i, a.Pi[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/graph"
+	"treesched/internal/instance"
+	"treesched/internal/treedecomp"
+)
+
+// randomTreeProblem builds a random multi-tree unit-height problem.
+func randomTreeProblem(rng *rand.Rand, n, r, m int) *instance.Problem {
+	p := &instance.Problem{Kind: instance.KindTree, NumVertices: n}
+	for q := 0; q < r; q++ {
+		p.Trees = append(p.Trees, graph.RandomTree(n, rng))
+	}
+	for i := 0; i < m; i++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		for v == u {
+			v = rng.Intn(n)
+		}
+		var access []int
+		for q := 0; q < r; q++ {
+			if rng.Intn(2) == 0 {
+				access = append(access, q)
+			}
+		}
+		if len(access) == 0 {
+			access = []int{rng.Intn(r)}
+		}
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, U: u, V: v, Profit: 1 + rng.Float64()*9, Height: 1, Access: access,
+		})
+	}
+	return p
+}
+
+func randomLineProblem(rng *rand.Rand, slots, r, m int) *instance.Problem {
+	p := &instance.Problem{Kind: instance.KindLine, NumSlots: slots, NumResources: r}
+	for i := 0; i < m; i++ {
+		rt := rng.Intn(slots - 1)
+		dl := rt + rng.Intn(slots-rt)
+		rho := 1 + rng.Intn(dl-rt+1)
+		var access []int
+		for q := 0; q < r; q++ {
+			if rng.Intn(2) == 0 {
+				access = append(access, q)
+			}
+		}
+		if len(access) == 0 {
+			access = []int{rng.Intn(r)}
+		}
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, Release: rt, Deadline: dl, ProcTime: rho,
+			Profit: 1 + rng.Float64()*9, Height: 1, Access: access,
+		})
+	}
+	return p
+}
+
+func TestTreeLayeringPropertyIdeal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 15; trial++ {
+		p := randomTreeProblem(rng, 4+rng.Intn(40), 1+rng.Intn(3), 2+rng.Intn(25))
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		insts := p.Expand()
+		var decomps []*treedecomp.Decomposition
+		for _, tr := range p.Trees {
+			decomps = append(decomps, treedecomp.Ideal(tr))
+		}
+		a, err := ForTrees(p, insts, decomps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delta > 6 {
+			t.Fatalf("trial %d: ∆=%d > 6 with ideal decomposition", trial, a.Delta)
+		}
+		if err := Verify(p, insts, a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestTreeLayeringPropertyAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, kind := range []treedecomp.Kind{treedecomp.KindRootFixing, treedecomp.KindBalancing, treedecomp.KindIdeal} {
+		for trial := 0; trial < 6; trial++ {
+			p := randomTreeProblem(rng, 4+rng.Intn(30), 1+rng.Intn(2), 2+rng.Intn(20))
+			insts := p.Expand()
+			var decomps []*treedecomp.Decomposition
+			for _, tr := range p.Trees {
+				decomps = append(decomps, treedecomp.Build(tr, kind))
+			}
+			a, err := ForTrees(p, insts, decomps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Lemma 4.2 bound: ∆ ≤ 2(θ+1).
+			theta := 0
+			for _, d := range decomps {
+				if d.PivotSize() > theta {
+					theta = d.PivotSize()
+				}
+			}
+			if a.Delta > 2*(theta+1) {
+				t.Fatalf("%v: ∆=%d > 2(θ+1)=%d", kind, a.Delta, 2*(theta+1))
+			}
+			if err := Verify(p, insts, a); err != nil {
+				t.Fatalf("%v trial %d: %v", kind, trial, err)
+			}
+		}
+	}
+}
+
+func TestLineLayeringProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		p := randomLineProblem(rng, 8+rng.Intn(50), 1+rng.Intn(3), 2+rng.Intn(15))
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		insts := p.Expand()
+		a, err := ForLines(p, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Delta > 3 {
+			t.Fatalf("trial %d: line ∆=%d > 3", trial, a.Delta)
+		}
+		if err := Verify(p, insts, a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestLineGroupsDoubleByLength(t *testing.T) {
+	p := &instance.Problem{Kind: instance.KindLine, NumSlots: 64, NumResources: 1}
+	lengths := []int{1, 1, 2, 3, 4, 7, 8, 16, 33}
+	for i, l := range lengths {
+		p.Demands = append(p.Demands, instance.Demand{
+			ID: i, Release: 0, Deadline: l - 1, ProcTime: l, Profit: 1, Height: 1, Access: []int{0},
+		})
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts := p.Expand()
+	a, err := ForLines(p, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGroups := []int32{1, 1, 2, 2, 3, 3, 4, 5, 6}
+	for i, want := range wantGroups {
+		if a.Group[i] != want {
+			t.Fatalf("length %d: group %d want %d", lengths[i], a.Group[i], want)
+		}
+	}
+}
+
+func TestKindMismatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tp := randomTreeProblem(rng, 10, 1, 3)
+	lp := randomLineProblem(rng, 10, 1, 3)
+	if _, err := ForLines(tp, tp.Expand()); err == nil {
+		t.Fatal("ForLines accepted tree problem")
+	}
+	if _, err := ForTrees(lp, lp.Expand(), nil); err == nil {
+		t.Fatal("ForTrees accepted line problem")
+	}
+	if _, err := ForTrees(tp, tp.Expand(), nil); err == nil {
+		t.Fatal("ForTrees accepted missing decompositions")
+	}
+}
+
+func TestSingleSlotInstancesCriticalSet(t *testing.T) {
+	p := &instance.Problem{Kind: instance.KindLine, NumSlots: 4, NumResources: 1,
+		Demands: []instance.Demand{
+			{ID: 0, Release: 1, Deadline: 1, ProcTime: 1, Profit: 1, Height: 1, Access: []int{0}},
+			{ID: 1, Release: 0, Deadline: 3, ProcTime: 2, Profit: 1, Height: 1, Access: []int{0}},
+		}}
+	insts := p.Expand()
+	a, err := ForLines(p, insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Pi[0]) != 1 {
+		t.Fatalf("length-1 instance should have |π|=1, got %v", a.Pi[0])
+	}
+	if len(a.Pi[1]) != 2 {
+		t.Fatalf("length-2 instance should have |π|=2 (start=mid), got %v", a.Pi[1])
+	}
+}

@@ -1,0 +1,264 @@
+// Package lp holds the primal/dual machinery of §3.1 and §6.1: the dual
+// variables α (one per demand) and β (one per network edge), the dual
+// constraint of each demand instance, and the raise rules that make
+// constraints tight in the two-phase framework.
+//
+// Three rules implement the paper's variants:
+//
+//   - Unit (§3.2):   α(a) + Σ_{e∈path} β(e) ≥ p;   raise α and β(π) by δ,
+//     δ = s/(|π|+1).
+//   - Narrow (§6.1): α(a) + h·Σ_{e∈path} β(e) ≥ p; raise α by δ and β(π)
+//     by 2|π|δ, δ = s/(1+2h|π|²).
+//   - Capacitated (abstract / IPPS'13 title): per-edge capacities; β is
+//     stored pre-multiplied by capacity so the dual objective stays Σα+Σβ.
+//
+// After the first phase, if every instance is λ-satisfied, (α,β)/λ is dual
+// feasible and by weak duality DualObjective/λ ≥ p(Opt) — the certificate
+// every experiment reports.
+package lp
+
+import (
+	"fmt"
+
+	"treesched/internal/model"
+)
+
+// Tol is the absolute slack tolerated in feasibility and satisfaction
+// checks, guarding float accumulation error.
+const Tol = 1e-9
+
+// Duals is a dual assignment ⟨α, β⟩.
+type Duals struct {
+	Alpha []float64 // per demand
+	Beta  []float64 // per global edge
+}
+
+// NewDuals returns the all-zero assignment for m.
+func NewDuals(m *model.Model) *Duals {
+	return &Duals{
+		Alpha: make([]float64, m.NumDemands),
+		Beta:  make([]float64, m.EdgeSpace),
+	}
+}
+
+// Clone deep-copies the assignment.
+func (d *Duals) Clone() *Duals {
+	out := &Duals{
+		Alpha: make([]float64, len(d.Alpha)),
+		Beta:  make([]float64, len(d.Beta)),
+	}
+	copy(out.Alpha, d.Alpha)
+	copy(out.Beta, d.Beta)
+	return out
+}
+
+// Rule abstracts the dual-constraint arithmetic of one algorithm variant.
+type Rule interface {
+	// Name identifies the rule in traces and tables.
+	Name() string
+	// LHS evaluates the left-hand side of instance i's dual constraint.
+	LHS(m *model.Model, d *Duals, i int32) float64
+	// Raise makes instance i's constraint tight and returns δ(i).
+	Raise(m *model.Model, d *Duals, i int32) float64
+	// ObjectivePerRaise bounds the dual-objective increase of one raise in
+	// units of δ (e.g. ∆+1 for Unit, 2∆²+1 for Narrow); used by the
+	// certified-ratio experiments.
+	ObjectivePerRaise(m *model.Model) float64
+}
+
+// Slack returns p(i) − LHS(i) under rule r.
+func Slack(r Rule, m *model.Model, d *Duals, i int32) float64 {
+	return m.Insts[i].Profit - r.LHS(m, d, i)
+}
+
+// Satisfied reports whether instance i is ξ-satisfied: LHS ≥ ξ·p − Tol.
+func Satisfied(r Rule, m *model.Model, d *Duals, i int32, xi float64) bool {
+	return r.LHS(m, d, i) >= xi*m.Insts[i].Profit-Tol
+}
+
+// DualObjective returns Σα + Σ cap(e)·β(e) for the Unit and Narrow rules.
+// The Capacitated rule stores β pre-multiplied, so for it — and for unit
+// capacities under any rule — this equals Σα + Σβ as stored; the rule
+// implementations select the right form via their own method below.
+func DualObjective(r Rule, m *model.Model, d *Duals) float64 {
+	sum := 0.0
+	for _, a := range d.Alpha {
+		sum += a
+	}
+	_, pre := r.(Capacitated)
+	for e, b := range d.Beta {
+		if pre {
+			sum += b
+		} else {
+			sum += m.Cap[e] * b
+		}
+	}
+	return sum
+}
+
+// VerifyLambdaSatisfied checks that every instance of m is λ-satisfied —
+// i.e. that (α,β)/λ is dual feasible (weak-duality certificate).
+func VerifyLambdaSatisfied(r Rule, m *model.Model, d *Duals, lambda float64) error {
+	for i := range m.Insts {
+		lhs := r.LHS(m, d, int32(i))
+		if lhs < lambda*m.Insts[i].Profit-Tol {
+			return fmt.Errorf("lp: instance %d only %.6f-satisfied (LHS=%g, p=%g, λ=%g)",
+				i, lhs/m.Insts[i].Profit, lhs, m.Insts[i].Profit, lambda)
+		}
+	}
+	return nil
+}
+
+// Unit is the §3.2 rule for unit-height demands.
+type Unit struct{}
+
+// Name implements Rule.
+func (Unit) Name() string { return "unit" }
+
+// LHS implements Rule.
+func (Unit) LHS(m *model.Model, d *Duals, i int32) float64 {
+	sum := d.Alpha[m.Insts[i].Demand]
+	for _, e := range m.Paths[i] {
+		sum += d.Beta[e]
+	}
+	return sum
+}
+
+// Raise implements Rule: δ = s/(|π|+1); α(a)+=δ, β(e∈π)+=δ.
+func (u Unit) Raise(m *model.Model, d *Duals, i int32) float64 {
+	s := Slack(u, m, d, i)
+	if s <= Tol {
+		return 0
+	}
+	pi := m.Pi[i]
+	delta := s / float64(len(pi)+1)
+	d.Alpha[m.Insts[i].Demand] += delta
+	for _, e := range pi {
+		d.Beta[e] += delta
+	}
+	return delta
+}
+
+// ObjectivePerRaise implements Rule: each raise moves ≤ ∆+1 variables by δ.
+func (Unit) ObjectivePerRaise(m *model.Model) float64 { return float64(m.Delta + 1) }
+
+// UnitNoAlpha is the Appendix-A single-tree-network refinement of Unit:
+// with one tree, every demand has exactly one instance, so the α variables
+// are never shared and can be dropped — δ = s/|π| and only β is raised,
+// improving the sequential ratio from 3 to 2.
+type UnitNoAlpha struct{}
+
+// Name implements Rule.
+func (UnitNoAlpha) Name() string { return "unit-noalpha" }
+
+// LHS implements Rule.
+func (UnitNoAlpha) LHS(m *model.Model, d *Duals, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += d.Beta[e]
+	}
+	return sum
+}
+
+// Raise implements Rule: δ = s/|π|; β(e∈π) += δ.
+func (u UnitNoAlpha) Raise(m *model.Model, d *Duals, i int32) float64 {
+	s := Slack(u, m, d, i)
+	if s <= Tol {
+		return 0
+	}
+	pi := m.Pi[i]
+	delta := s / float64(len(pi))
+	for _, e := range pi {
+		d.Beta[e] += delta
+	}
+	return delta
+}
+
+// ObjectivePerRaise implements Rule: ≤ ∆ variables move by δ.
+func (UnitNoAlpha) ObjectivePerRaise(m *model.Model) float64 { return float64(m.Delta) }
+
+// Narrow is the §6.1 rule for narrow (h ≤ 1/2) instances.
+type Narrow struct{}
+
+// Name implements Rule.
+func (Narrow) Name() string { return "narrow" }
+
+// LHS implements Rule.
+func (Narrow) LHS(m *model.Model, d *Duals, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += d.Beta[e]
+	}
+	return d.Alpha[m.Insts[i].Demand] + m.Insts[i].Height*sum
+}
+
+// Raise implements Rule: δ = s/(1+2h|π|²); α += δ; β(e∈π) += 2|π|δ.
+func (r Narrow) Raise(m *model.Model, d *Duals, i int32) float64 {
+	s := Slack(r, m, d, i)
+	if s <= Tol {
+		return 0
+	}
+	pi := m.Pi[i]
+	h := m.Insts[i].Height
+	k := float64(len(pi))
+	delta := s / (1 + 2*h*k*k)
+	d.Alpha[m.Insts[i].Demand] += delta
+	inc := 2 * k * delta
+	for _, e := range pi {
+		d.Beta[e] += inc
+	}
+	return delta
+}
+
+// ObjectivePerRaise implements Rule: α moves by δ and ∆ edges by 2∆δ.
+func (Narrow) ObjectivePerRaise(m *model.Model) float64 {
+	return float64(2*m.Delta*m.Delta + 1)
+}
+
+// Capacitated generalizes Narrow to per-edge capacities (the non-uniform
+// bandwidth scope of the IPPS 2013 title). Beta[e] stores cap(e)·β(e), so
+// the dual objective is plain Σα+Σβ and the raise arithmetic mirrors
+// Narrow with the per-edge coefficient h/cap(e).
+type Capacitated struct{}
+
+// Name implements Rule.
+func (Capacitated) Name() string { return "capacitated" }
+
+// LHS implements Rule: α(a) + h·Σ_{e∈path} Beta[e]/cap(e).
+func (Capacitated) LHS(m *model.Model, d *Duals, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += d.Beta[e] / m.Cap[e]
+	}
+	return d.Alpha[m.Insts[i].Demand] + m.Insts[i].Height*sum
+}
+
+// Raise implements Rule: δ = s/(1+2h|π|²); α += δ; Beta[e∈π] += 2|π|·cap(e)·δ.
+// The constraint tightens because each π edge contributes h·2|π|δ to the LHS.
+func (r Capacitated) Raise(m *model.Model, d *Duals, i int32) float64 {
+	s := Slack(r, m, d, i)
+	if s <= Tol {
+		return 0
+	}
+	pi := m.Pi[i]
+	h := m.Insts[i].Height
+	k := float64(len(pi))
+	delta := s / (1 + 2*h*k*k)
+	d.Alpha[m.Insts[i].Demand] += delta
+	for _, e := range pi {
+		d.Beta[e] += 2 * k * m.Cap[e] * delta
+	}
+	return delta
+}
+
+// ObjectivePerRaise implements Rule: α moves δ, each of ≤∆ edges moves
+// 2∆·cap(e)·δ in pre-multiplied form.
+func (Capacitated) ObjectivePerRaise(m *model.Model) float64 {
+	maxCap := 0.0
+	for _, c := range m.Cap {
+		if c > maxCap {
+			maxCap = c
+		}
+	}
+	return 2*float64(m.Delta*m.Delta)*maxCap + 1
+}

@@ -1,0 +1,171 @@
+package mis
+
+import (
+	"math"
+
+	"treesched/internal/conflict"
+)
+
+// Priority returns a deterministic pseudo-random priority in [0,1) for a
+// demand instance at a given (step, phase) position of the algorithm. The
+// centralized and distributed executors both draw priorities through this
+// function, so with equal seeds they compute identical maximal independent
+// sets — the equivalence the tests assert.
+//
+// The generator is splitmix64 over the packed coordinates.
+func Priority(seed uint64, inst int32, step uint64, phase int) float64 {
+	x := seed
+	x ^= uint64(inst) * 0x9E3779B97F4A7C15
+	x ^= step * 0xBF58476D1CE4E5B9
+	x ^= uint64(phase) * 0x94D049BB133111EB
+	// splitmix64 finalizer.
+	x += 0x9E3779B97F4A7C15
+	z := x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z = z ^ (z >> 31)
+	return float64(z>>11) / float64(1<<53)
+}
+
+// LubyFuncImplicit mirrors LubyFunc over a clique cover: winners are the
+// per-clique minima by (priority, index), exclusions are clique
+// co-members. With the same priority function it returns exactly the same
+// set and phase count as LubyFunc on the corresponding explicit graph, at
+// O(Σ|clique|) per phase instead of O(edges).
+func LubyFuncImplicit(im *conflict.Implicit, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	st := make([]state, im.N)
+	remaining := 0
+	for i := range st {
+		if active[i] {
+			st[i] = undecided
+			remaining++
+		} else {
+			st[i] = inactive
+		}
+	}
+	p := make([]float64, im.N)
+	nc := im.NumCliques()
+	top1 := make([]int32, nc)
+	var mis []int32
+	phase := 0
+	better := func(a, b int32) bool {
+		return p[a] < p[b] || (p[a] == p[b] && a < b)
+	}
+	for remaining > 0 {
+		phase++
+		for i := 0; i < im.N; i++ {
+			if st[i] == undecided {
+				p[i] = prio(int32(i), phase)
+			}
+		}
+		for k := 0; k < nc; k++ {
+			top1[k] = -1
+			for _, i := range im.Clique(int32(k)) {
+				if st[i] != undecided {
+					continue
+				}
+				if top1[k] < 0 || better(i, top1[k]) {
+					top1[k] = i
+				}
+			}
+		}
+		var winners []int32
+		for i := int32(0); int(i) < im.N; i++ {
+			if st[i] != undecided {
+				continue
+			}
+			best := true
+			for _, k := range im.CliquesOf[i] {
+				if top1[k] != i {
+					best = false
+					break
+				}
+			}
+			if best {
+				winners = append(winners, i)
+			}
+		}
+		for _, i := range winners {
+			st[i] = inMIS
+			remaining--
+			mis = append(mis, i)
+		}
+		for _, i := range winners {
+			for _, k := range im.CliquesOf[i] {
+				for _, j := range im.Clique(k) {
+					if st[j] == undecided {
+						st[j] = excluded
+						remaining--
+					}
+				}
+			}
+		}
+	}
+	sortInt32(mis)
+	return mis, phase
+}
+
+// LubyFunc computes a maximal independent set like Luby, but with
+// priorities supplied by prio(vertex, phase) instead of an rng — the hook
+// the deterministic distributed/centralized equivalence uses. It returns
+// the set (ascending) and the number of phases.
+func LubyFunc(adj [][]int32, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	n := len(adj)
+	st := make([]state, n)
+	remaining := 0
+	for i := range st {
+		if active[i] {
+			st[i] = undecided
+			remaining++
+		} else {
+			st[i] = inactive
+		}
+	}
+	p := make([]float64, n)
+	var mis []int32
+	phase := 0
+	for remaining > 0 {
+		phase++
+		for i := 0; i < n; i++ {
+			if st[i] == undecided {
+				p[i] = prio(int32(i), phase)
+			} else {
+				p[i] = math.Inf(1)
+			}
+		}
+		var winners []int32
+		for i := int32(0); int(i) < n; i++ {
+			if st[i] != undecided {
+				continue
+			}
+			best := true
+			for _, j := range adj[i] {
+				if st[j] != undecided {
+					continue
+				}
+				if p[j] < p[i] || (p[j] == p[i] && j < i) {
+					best = false
+					break
+				}
+			}
+			if best {
+				winners = append(winners, i)
+			}
+		}
+		for _, i := range winners {
+			st[i] = inMIS
+			remaining--
+			mis = append(mis, i)
+		}
+		for _, i := range winners {
+			for _, j := range adj[i] {
+				if st[j] == undecided {
+					st[j] = excluded
+					remaining--
+				}
+			}
+		}
+	}
+	sortInt32(mis)
+	return mis, phase
+}

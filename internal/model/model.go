@@ -1,0 +1,201 @@
+// Package model compiles a Problem into the flat representation the
+// two-phase framework (internal/core) operates on: demand instances with
+// materialized global-edge paths, critical edge sets π(d), layer groups,
+// per-edge capacities, and per-demand instance lists.
+//
+// Compiling once up front keeps the framework generic over tree and line
+// problems and over full or filtered (e.g. narrow-only, wide-only)
+// instance sets.
+package model
+
+import (
+	"fmt"
+
+	"treesched/internal/instance"
+	"treesched/internal/layered"
+	"treesched/internal/treedecomp"
+)
+
+// Model is the compiled form of a (sub)problem.
+type Model struct {
+	P     *instance.Problem
+	Insts []instance.Inst
+
+	// Paths[i] lists the global edge ids of instance i's path.
+	Paths [][]int32
+	// Pi[i] is the critical edge set π(d) of instance i (⊆ Paths[i]).
+	Pi [][]int32
+	// Group[i] is the 1-based layer group (epoch) of instance i.
+	Group     []int32
+	NumGroups int
+	// Delta is max |π(d)|: 6 for ideal tree decompositions, 3 for lines.
+	Delta int
+
+	// Cap[e] is the capacity of global edge e (all 1 in the paper's core
+	// setting).
+	Cap []float64
+
+	// InstsOf[a] lists the instance indices of demand a (possibly empty
+	// for filtered models).
+	InstsOf [][]int32
+
+	NumDemands int
+	EdgeSpace  int
+
+	PMin, PMax float64 // profit range over Insts
+	HMin       float64 // minimum height over Insts
+
+	// Decomps holds the tree decompositions used (nil for line problems),
+	// exposed for experiments.
+	Decomps []*treedecomp.Decomposition
+}
+
+// Options configures compilation.
+type Options struct {
+	// DecompKind selects the tree decomposition (ignored for lines).
+	// Default: KindIdeal.
+	DecompKind treedecomp.Kind
+	// Filter, when non-nil, keeps only instances where Filter(inst) is
+	// true (used for the wide/narrow split of §6).
+	Filter func(instance.Inst) bool
+	// CaptureWingsPi selects the Appendix-A critical sets (wings of the
+	// capture node only, ∆ ≤ 2) instead of the Lemma 4.2 sets. Only the
+	// sequential algorithm may use this; tree problems only.
+	CaptureWingsPi bool
+}
+
+// Build compiles p. The instance set is p.Expand() filtered by
+// opts.Filter.
+func Build(p *instance.Problem, opts Options) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	insts := p.Expand()
+	if opts.Filter != nil {
+		kept := insts[:0:0]
+		for _, d := range insts {
+			if opts.Filter(d) {
+				kept = append(kept, d)
+			}
+		}
+		insts = kept
+		// Re-number ids to stay dense.
+		for i := range insts {
+			insts[i].ID = int32(i)
+		}
+	}
+
+	m := &Model{
+		P:          p,
+		Insts:      insts,
+		NumDemands: len(p.Demands),
+		EdgeSpace:  p.EdgeSpace(),
+	}
+
+	var asg *layered.Assignment
+	var err error
+	if p.Kind == instance.KindTree {
+		for _, t := range p.Trees {
+			m.Decomps = append(m.Decomps, treedecomp.Build(t, opts.DecompKind))
+		}
+		if opts.CaptureWingsPi {
+			asg, err = layered.ForTreesCaptureWings(p, insts, m.Decomps)
+		} else {
+			asg, err = layered.ForTrees(p, insts, m.Decomps)
+		}
+	} else {
+		if opts.CaptureWingsPi {
+			return nil, fmt.Errorf("model: CaptureWingsPi is tree-only")
+		}
+		asg, err = layered.ForLines(p, insts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m.Pi = asg.Pi
+	m.Group = asg.Group
+	m.NumGroups = asg.NumGroups
+	m.Delta = asg.Delta
+
+	m.Paths = make([][]int32, len(insts))
+	for i, d := range insts {
+		m.Paths[i] = p.PathEdges(d)
+	}
+
+	m.Cap = make([]float64, m.EdgeSpace)
+	for e := range m.Cap {
+		m.Cap[e] = p.Capacity(int32(e))
+	}
+
+	m.InstsOf = make([][]int32, m.NumDemands)
+	for i, d := range insts {
+		m.InstsOf[d.Demand] = append(m.InstsOf[d.Demand], int32(i))
+	}
+
+	for i, d := range insts {
+		if i == 0 || d.Profit < m.PMin {
+			m.PMin = d.Profit
+		}
+		if i == 0 || d.Profit > m.PMax {
+			m.PMax = d.Profit
+		}
+		if i == 0 || d.Height < m.HMin {
+			m.HMin = d.Height
+		}
+	}
+	if err := m.check(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// check validates internal consistency (π ⊆ path, groups in range).
+func (m *Model) check() error {
+	for i := range m.Insts {
+		if m.Group[i] < 1 || int(m.Group[i]) > m.NumGroups {
+			return fmt.Errorf("model: instance %d group %d outside 1..%d", i, m.Group[i], m.NumGroups)
+		}
+		onPath := map[int32]bool{}
+		for _, e := range m.Paths[i] {
+			if e < 0 || int(e) >= m.EdgeSpace {
+				return fmt.Errorf("model: instance %d path edge %d outside edge space %d", i, e, m.EdgeSpace)
+			}
+			onPath[e] = true
+		}
+		for _, e := range m.Pi[i] {
+			if !onPath[e] {
+				return fmt.Errorf("model: instance %d critical edge %d not on its path", i, e)
+			}
+		}
+	}
+	return nil
+}
+
+// Conflict reports whether instances i and j conflict (same demand or
+// overlapping paths).
+func (m *Model) Conflict(i, j int32) bool {
+	return m.P.Conflict(m.Insts[i], m.Insts[j])
+}
+
+// TotalProfit sums the profits of the given instance indices.
+func (m *Model) TotalProfit(sel []int32) float64 {
+	sum := 0.0
+	for _, i := range sel {
+		sum += m.Insts[i].Profit
+	}
+	return sum
+}
+
+// EffHeight returns the effective (capacity-normalized) height of instance
+// i: max over its path of Height/Cap(e). With uniform unit capacities this
+// is just the height.
+func (m *Model) EffHeight(i int32) float64 {
+	h := m.Insts[i].Height
+	max := 0.0
+	for _, e := range m.Paths[i] {
+		if v := h / m.Cap[e]; v > max {
+			max = v
+		}
+	}
+	return max
+}

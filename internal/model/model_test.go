@@ -1,0 +1,137 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/gen"
+	"treesched/internal/instance"
+	"treesched/internal/treedecomp"
+)
+
+func TestBuildTreeModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := gen.TreeProblem(gen.TreeConfig{N: 30, Trees: 3, Demands: 20, Unit: true}, rng)
+	m, err := Build(p, Options{DecompKind: treedecomp.KindIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delta > 6 {
+		t.Fatalf("∆=%d > 6", m.Delta)
+	}
+	if m.NumGroups < 1 {
+		t.Fatal("no groups")
+	}
+	if len(m.Decomps) != 3 {
+		t.Fatal("decompositions missing")
+	}
+	if m.EdgeSpace != 3*30 {
+		t.Fatalf("edge space %d", m.EdgeSpace)
+	}
+	total := 0
+	for a, insts := range m.InstsOf {
+		total += len(insts)
+		for _, i := range insts {
+			if int(m.Insts[i].Demand) != a {
+				t.Fatal("InstsOf inconsistent")
+			}
+		}
+	}
+	if total != len(m.Insts) {
+		t.Fatal("InstsOf misses instances")
+	}
+	if m.PMin <= 0 || m.PMax < m.PMin {
+		t.Fatalf("profit range (%g,%g)", m.PMin, m.PMax)
+	}
+}
+
+func TestBuildLineModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := gen.LineProblem(gen.LineConfig{Slots: 40, Resources: 2, Demands: 15, Unit: true}, rng)
+	m, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Delta > 3 {
+		t.Fatalf("line ∆=%d > 3", m.Delta)
+	}
+	for i := range m.Insts {
+		if len(m.Paths[i]) != int(m.Insts[i].Len()) {
+			t.Fatal("line path length mismatch")
+		}
+	}
+}
+
+func TestBuildFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := gen.TreeProblem(gen.TreeConfig{N: 20, Trees: 2, Demands: 15, HMin: 0.1, HMax: 1.0}, rng)
+	full, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Build(p, Options{Filter: func(d instance.Inst) bool { return d.Height <= 0.5 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Build(p, Options{Filter: func(d instance.Inst) bool { return d.Height > 0.5 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(narrow.Insts)+len(wide.Insts) != len(full.Insts) {
+		t.Fatalf("split %d+%d != %d", len(narrow.Insts), len(wide.Insts), len(full.Insts))
+	}
+	for i := range narrow.Insts {
+		if int(narrow.Insts[i].ID) != i {
+			t.Fatal("filtered ids not re-numbered")
+		}
+		if narrow.Insts[i].Height > 0.5 {
+			t.Fatal("filter leaked wide instance")
+		}
+	}
+}
+
+func TestEffHeightWithCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := gen.LineProblem(gen.LineConfig{Slots: 10, Resources: 1, Demands: 5, HMin: 0.4, HMax: 0.4}, rng)
+	p.Capacities = [][]float64{make([]float64, 10)}
+	for e := range p.Capacities[0] {
+		p.Capacities[0][e] = 2
+	}
+	m, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Insts {
+		if got := m.EffHeight(int32(i)); got != 0.2 {
+			t.Fatalf("eff height %g want 0.2", got)
+		}
+	}
+}
+
+func TestConflictPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := gen.TreeProblem(gen.TreeConfig{N: 15, Trees: 2, Demands: 10, Unit: true}, rng)
+	m, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int32(0); int(i) < len(m.Insts); i++ {
+		for j := int32(0); int(j) < len(m.Insts); j++ {
+			if i == j {
+				continue
+			}
+			got := m.Conflict(i, j)
+			want := m.Insts[i].Demand == m.Insts[j].Demand || m.P.Overlap(m.Insts[i], m.Insts[j])
+			if got != want {
+				t.Fatalf("Conflict(%d,%d)=%v want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsInvalidProblem(t *testing.T) {
+	p := &instance.Problem{Kind: instance.KindTree}
+	if _, err := Build(p, Options{}); err == nil {
+		t.Fatal("accepted invalid problem")
+	}
+}

@@ -1,0 +1,356 @@
+package treedecomp
+
+import (
+	"fmt"
+
+	"treesched/internal/graph"
+)
+
+// RootFixing builds the §4.2 root-fixing decomposition: H is simply T
+// rooted at root. Pivot size θ=1; depth can reach n.
+func RootFixing(t *graph.Tree, root int) *Decomposition {
+	n := t.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[root] = -1
+	stack := []int32{int32(root)}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.Adj(int(v)) {
+			if parent[w] == -2 {
+				parent[w] = v
+				stack = append(stack, w)
+			}
+		}
+	}
+	return finish(t, KindRootFixing, root, parent)
+}
+
+// splitter provides component-restricted centroid and split operations over
+// a tree, using generation marks to avoid reallocating per recursion level.
+type splitter struct {
+	t    *graph.Tree
+	mark []int32 // mark[v] == gen means v belongs to the current component
+	gen  int32
+	size []int32 // scratch for subtree sizes
+}
+
+func newSplitter(t *graph.Tree) *splitter {
+	return &splitter{
+		t:    t,
+		mark: make([]int32, t.N()),
+		gen:  0,
+		size: make([]int32, t.N()),
+	}
+}
+
+// claim assigns a fresh generation to the vertices of comp and returns it.
+func (s *splitter) claim(comp []int32) int32 {
+	s.gen++
+	for _, v := range comp {
+		s.mark[v] = s.gen
+	}
+	return s.gen
+}
+
+// centroid returns a balancer of the component comp (all marked gen): a
+// vertex whose removal splits comp into pieces of size ≤ ⌊|comp|/2⌋.
+// Any component contains one (§4.2).
+func (s *splitter) centroid(comp []int32, gen int32) int32 {
+	if len(comp) == 1 {
+		return comp[0]
+	}
+	root := comp[0]
+	// Iterative post-order within the component to compute subtree sizes.
+	type frame struct {
+		v, parent int32
+		idx       int
+	}
+	stack := []frame{{root, -1, 0}}
+	order := make([]frame, 0, len(comp))
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, f)
+		for _, w := range s.t.Adj(int(f.v)) {
+			if w != f.parent && s.mark[w] == gen {
+				stack = append(stack, frame{w, f.v, 0})
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i].v
+		s.size[v] = 1
+		for _, w := range s.t.Adj(int(v)) {
+			if w != order[i].parent && s.mark[w] == gen {
+				s.size[v] += s.size[w]
+			}
+		}
+	}
+	total := s.size[root]
+	if int(total) != len(comp) {
+		panic(fmt.Sprintf("treedecomp: component of size %d only reaches %d vertices (disconnected?)", len(comp), total))
+	}
+	// Walk from the root toward the heavy side until balanced.
+	half := total / 2
+	v := root
+	parent := int32(-1)
+	for {
+		var heavy int32 = -1
+		for _, w := range s.t.Adj(int(v)) {
+			if w != parent && s.mark[w] == gen && s.size[w] > half {
+				heavy = w
+				break
+			}
+		}
+		if heavy < 0 {
+			// All below-components ≤ half; the above-component has size
+			// total - size[v] ≤ half as well once we stop here.
+			if total-s.size[v] > half {
+				panic("treedecomp: centroid walk stopped at unbalanced vertex")
+			}
+			return v
+		}
+		parent = v
+		v = heavy
+	}
+}
+
+// split removes z from the component (marked gen) and returns the resulting
+// sub-components, each as a vertex list. The mark of z is invalidated.
+func (s *splitter) split(comp []int32, gen, z int32) [][]int32 {
+	s.mark[z] = 0
+	var out [][]int32
+	for _, w := range s.t.Adj(int(z)) {
+		if s.mark[w] != gen {
+			continue
+		}
+		// BFS the piece hanging off w, unmarking as we go so later
+		// neighbors of z start fresh pieces.
+		piece := []int32{w}
+		s.mark[w] = 0
+		for i := 0; i < len(piece); i++ {
+			v := piece[i]
+			for _, x := range s.t.Adj(int(v)) {
+				if s.mark[x] == gen {
+					s.mark[x] = 0
+					piece = append(piece, x)
+				}
+			}
+		}
+		out = append(out, piece)
+	}
+	return out
+}
+
+// Balancing builds the §4.2 centroid decomposition of T: depth ≤ ⌈log n⌉+1,
+// pivot size up to the depth.
+func Balancing(t *graph.Tree) *Decomposition {
+	n := t.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	s := newSplitter(t)
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	type job struct {
+		comp []int32
+		hPar int32 // H-parent of this component's root
+	}
+	var root int32 = -1
+	jobs := []job{{all, -1}}
+	for len(jobs) > 0 {
+		j := jobs[len(jobs)-1]
+		jobs = jobs[:len(jobs)-1]
+		gen := s.claim(j.comp)
+		z := s.centroid(j.comp, gen)
+		parent[z] = j.hPar
+		if j.hPar < 0 {
+			root = z
+		}
+		for _, piece := range s.split(j.comp, gen, z) {
+			jobs = append(jobs, job{piece, z})
+		}
+	}
+	return finish(t, KindBalancing, int(root), parent)
+}
+
+// Ideal builds the §4.3 ideal tree decomposition: pivot size θ=2 and depth
+// ≤ 2⌈log n⌉ (Lemma 4.1). The construction follows BuildIdealTD: each
+// recursion level places a balancer z, and — when both outer attachment
+// points of the component fall into the same sub-piece — additionally a
+// junction node j (the median of the two attachment points and z's
+// neighbor), giving every component at most two neighbors.
+func Ideal(t *graph.Tree) *Decomposition {
+	n := t.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = -2
+	}
+	s := newSplitter(t)
+
+	type job struct {
+		comp []int32
+		nbrs [2]int32 // Γ(comp); -1 entries unused; len ≤ 2 (precondition)
+		hPar int32
+	}
+	var rootVtx int32 = -1
+
+	// contains reports membership of x in piece.
+	contains := func(piece []int32, x int32) bool {
+		for _, v := range piece {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+
+	var jobs []job
+	if n == 1 {
+		parent[0] = -1
+		return finish(t, KindIdeal, 0, parent)
+	}
+
+	// Top level: balancer g of V, components each with Γ = {g}.
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	gen := s.claim(all)
+	g := s.centroid(all, gen)
+	parent[g] = -1
+	rootVtx = g
+	for _, piece := range s.split(all, gen, g) {
+		jobs = append(jobs, job{piece, [2]int32{g, -1}, g})
+	}
+
+	for len(jobs) > 0 {
+		j := jobs[len(jobs)-1]
+		jobs = jobs[:len(jobs)-1]
+		comp := j.comp
+		if len(comp) == 1 {
+			parent[comp[0]] = j.hPar
+			continue
+		}
+		gen := s.claim(comp)
+		z := s.centroid(comp, gen)
+		pieces := s.split(comp, gen, z)
+
+		u1, u2 := j.nbrs[0], j.nbrs[1]
+		// Attachment points u'1, u'2 inside comp (unique T-neighbor of
+		// each outside neighbor inside the component).
+		var a1, a2 int32 = -1, -1
+		if u1 >= 0 {
+			a1 = attachIn(t, comp, u1)
+		}
+		if u2 >= 0 {
+			a2 = attachIn(t, comp, u2)
+		}
+
+		// Locate which piece holds each attachment point (the balancer z
+		// itself holds it if a_i == z).
+		pieceOf := func(a int32) int {
+			if a < 0 || a == z {
+				return -1
+			}
+			for pi, piece := range pieces {
+				if contains(piece, a) {
+					return pi
+				}
+			}
+			return -1
+		}
+		p1, p2 := pieceOf(a1), pieceOf(a2)
+
+		if u1 < 0 || u2 < 0 || p1 < 0 || p2 < 0 || p1 != p2 {
+			// Case 1 / 2(a) (or attachment on z itself): root the
+			// component at z; every piece has ≤ 2 neighbors already.
+			parent[z] = j.hPar
+			for pi, piece := range pieces {
+				nb := [2]int32{z, -1}
+				if pi == p1 {
+					nb[1] = u1
+				} else if pi == p2 {
+					nb[1] = u2
+				}
+				jobs = append(jobs, job{piece, nb, z})
+			}
+			continue
+		}
+
+		// Case 2(b): both attachment points in the same piece C1.
+		c1 := pieces[p1]
+		// z' = unique T-neighbor of z inside C1.
+		zp := attachIn(t, c1, z)
+		if zp < 0 {
+			panic("treedecomp: split piece not adjacent to balancer")
+		}
+		jn := int32(t.Median(int(a1), int(a2), int(zp)))
+		// Split C1 by the junction.
+		genC1 := s.claim(c1)
+		sub := s.split(c1, genC1, jn)
+
+		parent[jn] = j.hPar
+		parent[z] = jn
+		// Pieces of C-z other than C1 hang under z with Γ={z}.
+		for pi, piece := range pieces {
+			if pi == p1 {
+				continue
+			}
+			jobs = append(jobs, job{piece, [2]int32{z, -1}, z})
+		}
+		// Pieces of C1-j: the one holding z' goes under z with Γ={j,z};
+		// the ones holding attachment points keep their outer neighbor.
+		for _, piece := range sub {
+			switch {
+			case zp != jn && contains(piece, zp):
+				jobs = append(jobs, job{piece, [2]int32{jn, z}, z})
+			case a1 != jn && contains(piece, a1):
+				jobs = append(jobs, job{piece, [2]int32{jn, u1}, jn})
+			case a2 != jn && contains(piece, a2):
+				jobs = append(jobs, job{piece, [2]int32{jn, u2}, jn})
+			default:
+				jobs = append(jobs, job{piece, [2]int32{jn, -1}, jn})
+			}
+		}
+	}
+	return finish(t, KindIdeal, int(rootVtx), parent)
+}
+
+// attachIn returns the unique vertex of comp adjacent (in t) to the outside
+// vertex u, or -1 if none. Uniqueness holds because comp is connected and t
+// is a tree.
+func attachIn(t *graph.Tree, comp []int32, u int32) int32 {
+	inComp := make(map[int32]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	for _, w := range t.Adj(int(u)) {
+		if inComp[w] {
+			return w
+		}
+	}
+	return -1
+}
+
+// Build constructs a decomposition of the requested kind. RootFixing uses
+// vertex 0 as the root.
+func Build(t *graph.Tree, kind Kind) *Decomposition {
+	switch kind {
+	case KindRootFixing:
+		return RootFixing(t, 0)
+	case KindBalancing:
+		return Balancing(t)
+	case KindIdeal:
+		return Ideal(t)
+	default:
+		panic(fmt.Sprintf("treedecomp: unknown kind %d", int(kind)))
+	}
+}

@@ -1,0 +1,262 @@
+package treedecomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"treesched/internal/graph"
+)
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+func testTrees(rng *rand.Rand) map[string]*graph.Tree {
+	return map[string]*graph.Tree{
+		"path40":       graph.NewPath(40),
+		"star30":       graph.NewStar(30),
+		"binary63":     graph.CompleteBinaryTree(63),
+		"caterpillar":  graph.Caterpillar(10, 25),
+		"spider":       graph.Spider(5, 7),
+		"random50a":    graph.RandomTree(50, rng),
+		"random50b":    graph.RandomTree(50, rng),
+		"random7":      graph.RandomTree(7, rng),
+		"two":          graph.NewPath(2),
+		"one":          graph.NewPath(1),
+		"paperFigure6": graph.PaperFigure6Tree(),
+		"paperFigure2": graph.PaperFigure2Tree(),
+	}
+}
+
+func TestRootFixingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, tr := range testTrees(rng) {
+		d := RootFixing(tr, 0)
+		if err := Verify(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.PivotSize() > 1 {
+			t.Fatalf("%s: root-fixing pivot size %d > 1", name, d.PivotSize())
+		}
+	}
+}
+
+func TestBalancingProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for name, tr := range testTrees(rng) {
+		d := Balancing(tr)
+		if err := Verify(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if want := log2ceil(tr.N()) + 1; d.MaxDepth() > want {
+			t.Fatalf("%s: balancing depth %d > ⌈log n⌉+1 = %d (n=%d)", name, d.MaxDepth(), want, tr.N())
+		}
+		// Pivot size is bounded by the number of proper ancestors.
+		if d.PivotSize() > d.MaxDepth() {
+			t.Fatalf("%s: balancing pivot %d > depth %d", name, d.PivotSize(), d.MaxDepth())
+		}
+	}
+}
+
+func TestIdealProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for name, tr := range testTrees(rng) {
+		d := Ideal(tr)
+		if err := Verify(d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.PivotSize() > 2 {
+			t.Fatalf("%s: ideal pivot size θ=%d > 2", name, d.PivotSize())
+		}
+		if n := tr.N(); n >= 2 {
+			if want := 2 * log2ceil(n); d.MaxDepth() > want {
+				t.Fatalf("%s: ideal depth %d > 2⌈log n⌉ = %d (n=%d)", name, d.MaxDepth(), want, n)
+			}
+		}
+	}
+}
+
+func TestIdealOnManyRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(120)
+		var tr *graph.Tree
+		switch trial % 3 {
+		case 0:
+			tr = graph.RandomTree(n, rng)
+		case 1:
+			tr = graph.RandomBinaryTree(n, rng)
+		default:
+			tr = graph.Caterpillar(1+n/2, n-1-n/2)
+		}
+		d := Ideal(tr)
+		if err := Verify(d); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, tr.N(), err)
+		}
+		if d.PivotSize() > 2 {
+			t.Fatalf("trial %d (n=%d): θ=%d", trial, tr.N(), d.PivotSize())
+		}
+		if d.MaxDepth() > 2*log2ceil(tr.N()) {
+			t.Fatalf("trial %d (n=%d): depth=%d > %d", trial, tr.N(), d.MaxDepth(), 2*log2ceil(tr.N()))
+		}
+	}
+}
+
+func TestCaptureMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		tr := graph.RandomTree(n, rng)
+		for _, kind := range []Kind{KindRootFixing, KindBalancing, KindIdeal} {
+			d := Build(tr, kind)
+			for q := 0; q < 30; q++ {
+				u, v := rng.Intn(n), rng.Intn(n)
+				z := d.Capture(u, v)
+				// Brute force: min-depth vertex on the path.
+				best := -1
+				for _, x := range tr.PathVertices(u, v) {
+					if best < 0 || d.Depth(int(x)) < d.Depth(best) {
+						best = int(x)
+					}
+				}
+				if z != best {
+					t.Fatalf("%v n=%d capture(%d,%d)=%d want %d", kind, n, u, v, z, best)
+				}
+			}
+		}
+	}
+}
+
+func TestCriticalEdgesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(80)
+		tr := graph.RandomTree(n, rng)
+		d := Ideal(tr)
+		theta := d.PivotSize()
+		for q := 0; q < 50; q++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			pi := d.CriticalEdges(u, v)
+			if len(pi) == 0 {
+				t.Fatalf("empty critical set for (%d,%d)", u, v)
+			}
+			if len(pi) > 2*(theta+1) {
+				t.Fatalf("|π|=%d > 2(θ+1)=%d", len(pi), 2*(theta+1))
+			}
+			if len(pi) > 6 {
+				t.Fatalf("|π|=%d > 6 for ideal decomposition", len(pi))
+			}
+			seen := map[graph.EdgeID]bool{}
+			for _, e := range pi {
+				if seen[e] {
+					t.Fatalf("duplicate critical edge %d", e)
+				}
+				seen[e] = true
+				if !tr.EdgeOnPath(u, v, e) {
+					t.Fatalf("critical edge %d not on path(%d,%d)", e, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestComponentAndInComponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := graph.RandomTree(40, rng)
+	d := Ideal(tr)
+	for z := 0; z < 40; z++ {
+		comp := d.Component(z)
+		in := map[int32]bool{}
+		for _, v := range comp {
+			in[v] = true
+		}
+		for x := 0; x < 40; x++ {
+			if d.InComponent(z, x) != in[int32(x)] {
+				t.Fatalf("InComponent(%d,%d) mismatch", z, x)
+			}
+		}
+	}
+}
+
+func TestDecompositionDepthConvention(t *testing.T) {
+	// Paper convention: root depth is 1.
+	tr := graph.NewPath(5)
+	d := RootFixing(tr, 0)
+	if d.Depth(0) != 1 {
+		t.Fatalf("root depth = %d, want 1", d.Depth(0))
+	}
+	if d.Depth(4) != 5 {
+		t.Fatalf("leaf depth = %d, want 5", d.Depth(4))
+	}
+	if d.MaxDepth() != 5 {
+		t.Fatalf("max depth = %d", d.MaxDepth())
+	}
+}
+
+func TestPaperFigure3Analogue(t *testing.T) {
+	// Figure 3 facts restated on our Figure 6 tree: in a decomposition
+	// rooted at 1 (root-fixing), the demand ⟨4,13⟩ is captured at the
+	// least-depth path vertex, which is 5.
+	tr := graph.PaperFigure6Tree()
+	d := RootFixing(tr, 1)
+	if z := d.Capture(4, 13); z != 5 {
+		t.Fatalf("capture(4,13)=%d want 5", z)
+	}
+	// C(5) contains the whole subtree below 1 on that side: {5,2,4,9,8,12,13,3,7}
+	// in our variant; its only outside neighbor is 1 (θ contribution 1).
+	piv := d.PivotSet(5)
+	if len(piv) != 1 || piv[0] != 1 {
+		t.Fatalf("pivot set of 5 = %v, want [1]", piv)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindIdeal.String() != "ideal" || KindRootFixing.String() != "root-fixing" || KindBalancing.String() != "balancing" {
+		t.Fatal("Kind.String names")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func BenchmarkIdealDecomposition(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	tr := graph.RandomTree(2048, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Ideal(tr)
+	}
+}
+
+func BenchmarkBalancingDecomposition(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tr := graph.RandomTree(2048, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Balancing(tr)
+	}
+}
+
+func BenchmarkCriticalEdges(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	tr := graph.RandomTree(2048, rng)
+	d := Ideal(tr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := i % 2048
+		v := (i * 2654435761) % 2048
+		if u == v {
+			v = (v + 1) % 2048
+		}
+		_ = d.CriticalEdges(u, v)
+	}
+}

@@ -1,0 +1,108 @@
+package treedecomp
+
+import (
+	"testing"
+
+	"treesched/internal/graph"
+)
+
+// TestIdealPath7Golden pins the exact decomposition of the path
+// 0-1-2-3-4-5-6: the centroid 3 roots H, the halves {0,1,2} and {4,5,6}
+// are rooted at their own centroids 1 and 5.
+func TestIdealPath7Golden(t *testing.T) {
+	d := Ideal(graph.NewPath(7))
+	if d.Root != 3 {
+		t.Fatalf("root %d want 3", d.Root)
+	}
+	wantParent := map[int]int{0: 1, 2: 1, 4: 5, 6: 5, 1: 3, 5: 3, 3: -1}
+	for v, want := range wantParent {
+		if got := d.Parent(v); got != want {
+			t.Fatalf("parent(%d)=%d want %d", v, got, want)
+		}
+	}
+	if d.MaxDepth() != 3 {
+		t.Fatalf("depth %d want 3", d.MaxDepth())
+	}
+	if d.PivotSize() != 2 {
+		t.Fatalf("θ=%d want 2 (inner components see both sides)", d.PivotSize())
+	}
+}
+
+// TestIdealStarGolden: the hub is the centroid; every leaf is its child.
+func TestIdealStarGolden(t *testing.T) {
+	d := Ideal(graph.NewStar(6))
+	if d.Root != 0 {
+		t.Fatalf("root %d want hub 0", d.Root)
+	}
+	for v := 1; v < 6; v++ {
+		if d.Parent(v) != 0 {
+			t.Fatalf("leaf %d not a child of the hub", v)
+		}
+	}
+	if d.MaxDepth() != 2 || d.PivotSize() != 1 {
+		t.Fatalf("depth=%d θ=%d want 2,1", d.MaxDepth(), d.PivotSize())
+	}
+}
+
+// TestCaptureOnGoldenPath: demands on the path are captured at the
+// minimum-depth vertex of their span.
+func TestCaptureOnGoldenPath(t *testing.T) {
+	d := Ideal(graph.NewPath(7))
+	cases := []struct{ u, v, want int }{
+		{0, 6, 3}, // spans the root
+		{0, 2, 1}, // left half
+		{4, 6, 5}, // right half
+		{2, 4, 3}, // crosses the root
+		{0, 1, 1},
+		{5, 6, 5},
+		{6, 6, 6},
+	}
+	for _, c := range cases {
+		if got := d.Capture(c.u, c.v); got != c.want {
+			t.Fatalf("capture(%d,%d)=%d want %d", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+// TestIdealJunctionCaseTriggered builds a tree that forces Case 2(b) of
+// BuildIdealTD (both attachment points in one split piece) and checks the
+// invariants still hold. A long path with a heavy middle bulge does it.
+func TestIdealJunctionCaseTriggered(t *testing.T) {
+	// Path 0..9 with three extra leaves on vertex 2 — the first balancer
+	// sits near the bulge, leaving a two-neighbor component whose
+	// attachment points fall together.
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 8}, {8, 9},
+		{2, 10}, {2, 11}, {2, 12},
+	}
+	tr, err := graph.NewTree(13, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Ideal(tr)
+	if err := Verify(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.PivotSize() > 2 {
+		t.Fatalf("θ=%d > 2", d.PivotSize())
+	}
+	if d.MaxDepth() > 8 { // 2⌈log 13⌉ = 8
+		t.Fatalf("depth %d > 8", d.MaxDepth())
+	}
+}
+
+// TestBalancingCentroidProperty: the root of the balancing decomposition
+// splits the tree into halves.
+func TestBalancingCentroidProperty(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 31, 100} {
+		tr := graph.NewPath(n)
+		d := Balancing(tr)
+		root := d.Root
+		// Removing the root splits the path into two runs of ≤ ⌊n/2⌋.
+		left := root
+		right := n - root - 1
+		if left > n/2 || right > n/2 {
+			t.Fatalf("n=%d: root %d is no balancer (%d/%d)", n, root, left, right)
+		}
+	}
+}

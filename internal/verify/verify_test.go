@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched/internal/gen"
+	"treesched/internal/instance"
+)
+
+func treeProblem(t *testing.T) *instance.Problem {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	p := gen.TreeProblem(gen.TreeConfig{N: 12, Trees: 2, Demands: 6, Unit: true}, rng)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestEmptySolutionIsFeasible(t *testing.T) {
+	p := treeProblem(t)
+	if err := Solution(p, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleInstanceFeasible(t *testing.T) {
+	p := treeProblem(t)
+	insts := p.Expand()
+	if err := Solution(p, insts[:1]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsDuplicateDemand(t *testing.T) {
+	p := treeProblem(t)
+	insts := p.Expand()
+	var two []instance.Inst
+	for _, d := range insts {
+		if d.Demand == 0 {
+			two = append(two, d)
+		}
+	}
+	if len(two) < 2 {
+		t.Skip("demand 0 has a single instance under this seed")
+	}
+	if err := Solution(p, two[:2]); err == nil {
+		t.Fatal("accepted two placements of one demand")
+	}
+}
+
+func TestRejectsInaccessibleNetwork(t *testing.T) {
+	p := treeProblem(t)
+	d := p.Expand()[0]
+	// Point the instance at a network outside the demand's access set.
+	for q := 0; q < p.NumNetworks(); q++ {
+		allowed := false
+		for _, a := range p.Demands[d.Demand].Access {
+			if a == q {
+				allowed = true
+			}
+		}
+		if !allowed {
+			d.Net = int32(q)
+			if err := Solution(p, []instance.Inst{d}); err == nil {
+				t.Fatal("accepted inaccessible placement")
+			}
+			return
+		}
+	}
+	t.Skip("demand 0 can access every network under this seed")
+}
+
+func TestRejectsChangedEndpoints(t *testing.T) {
+	p := treeProblem(t)
+	d := p.Expand()[0]
+	d.U, d.V = d.V+1, d.U // corrupt
+	if int(d.U) >= p.NumVertices {
+		d.U = 0
+	}
+	if err := Solution(p, []instance.Inst{d}); err == nil {
+		t.Fatal("accepted altered endpoints")
+	}
+}
+
+func TestRejectsChangedHeight(t *testing.T) {
+	p := treeProblem(t)
+	d := p.Expand()[0]
+	d.Height = 0.25
+	if err := Solution(p, []instance.Inst{d}); err == nil {
+		t.Fatal("accepted altered height")
+	}
+}
+
+func TestRejectsOverloadedEdge(t *testing.T) {
+	// Figure 2's tree: all three unit-height demands cross edge 4-5, so
+	// any two together overload it.
+	pp := gen.PaperFigure2Problem(true)
+	insts := pp.Expand()
+	// All three demands share edge 4-5; any two together are infeasible.
+	if err := Solution(pp, insts[:2]); err == nil {
+		t.Fatal("accepted two unit demands on a shared edge")
+	}
+	if err := EdgeDisjoint(pp, insts[:2]); err == nil {
+		t.Fatal("EdgeDisjoint accepted a shared edge")
+	}
+}
+
+func TestWindowViolationsRejected(t *testing.T) {
+	p := &instance.Problem{
+		Kind: instance.KindLine, NumSlots: 10, NumResources: 1,
+		Demands: []instance.Demand{
+			{ID: 0, Release: 2, Deadline: 7, ProcTime: 3, Profit: 1, Height: 1, Access: []int{0}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Run outside the window.
+	bad := instance.Inst{ID: 0, Demand: 0, Net: 0, U: 0, V: 2, Profit: 1, Height: 1}
+	if err := Solution(p, []instance.Inst{bad}); err == nil {
+		t.Fatal("accepted run starting before release")
+	}
+	// Wrong duration.
+	short := instance.Inst{ID: 0, Demand: 0, Net: 0, U: 3, V: 4, Profit: 1, Height: 1}
+	if err := Solution(p, []instance.Inst{short}); err == nil {
+		t.Fatal("accepted too-short run")
+	}
+	// Correct placement passes.
+	good := instance.Inst{ID: 0, Demand: 0, Net: 0, U: 3, V: 5, Profit: 1, Height: 1}
+	if err := Solution(p, []instance.Inst{good}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityRespectedWithNonUniformBandwidth(t *testing.T) {
+	p := &instance.Problem{
+		Kind: instance.KindLine, NumSlots: 4, NumResources: 1,
+		Capacities: [][]float64{{2, 2, 0.5, 2}},
+		Demands: []instance.Demand{
+			{ID: 0, Release: 0, Deadline: 3, ProcTime: 4, Profit: 1, Height: 1, Access: []int{0}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inst := p.Expand()[0]
+	// Height 1 exceeds the 0.5-capacity slot 2.
+	if err := Solution(p, []instance.Inst{inst}); err == nil {
+		t.Fatal("accepted overloaded low-capacity slot")
+	}
+}
+
+func TestRejectsUnknownDemandID(t *testing.T) {
+	p := treeProblem(t)
+	d := p.Expand()[0]
+	d.Demand = 99
+	if err := Solution(p, []instance.Inst{d}); err == nil {
+		t.Fatal("accepted out-of-range demand id")
+	}
+}

@@ -1,0 +1,172 @@
+// Package treesched is a Go implementation of the distributed scheduling
+// algorithms of Chakaravarthy, Roy and Sabharwal, "Distributed Algorithms
+// for Scheduling on Line and Tree Networks with Non-uniform Bandwidths"
+// (IPPS 2013; full version arXiv:1205.1924).
+//
+// The problem: m processors each own a demand — a vertex pair on a set of
+// tree networks, or a time window on a set of line resources — with a
+// profit and a bandwidth requirement (height). A feasible schedule places
+// a subset of demands, each on a network its owner can access, so that on
+// every edge the scheduled heights fit within the bandwidth. The goal is
+// maximum total profit; the algorithms give constant-factor guarantees and
+// run in a polylogarithmic number of communication rounds in a synchronous
+// message-passing network of processors.
+//
+// Solvers (centralized drivers; see SolveDistributed* for the goroutine
+// message-passing drivers):
+//
+//   - SolveTreeUnit: unit heights on tree networks, (7+ε)-approximation
+//     (the paper's main result, Theorem 5.3).
+//   - SolveLineUnit: unit heights on lines with windows, (4+ε)
+//     (Theorem 7.1; improves Panconesi–Sozio's 20+ε by the factor 5).
+//   - SolveNarrow: all heights ≤ 1/2, (2∆²+1)/(1−ε) (Lemma 6.2).
+//   - SolveArbitrary: any heights, (80+ε) on trees / (23+ε) on lines
+//     (Theorems 6.3, 7.2); handles non-uniform edge capacities.
+//   - SolveSequential: Appendix-A sequential 3-approximation (2 for a
+//     single tree).
+//   - SolveExact: branch-and-bound optimum for small instances.
+//   - SolveGreedy: profit-greedy baseline.
+//   - SolvePanconesiSozio: the single-stage 20+ε baseline on lines.
+//
+// Every result carries a weak-duality certificate: DualUB ≥ p(Opt), so
+// CertifiedRatio = DualUB/Profit bounds the true approximation ratio of
+// that specific run.
+//
+// Quickstart:
+//
+//	tree, _ := treesched.NewTree(6, [][2]int{{0, 1}, {1, 2}, {1, 3}, {3, 4}, {3, 5}})
+//	p := &treesched.Problem{
+//	    Kind:        treesched.KindTree,
+//	    NumVertices: 6,
+//	    Trees:       []*treesched.Tree{tree},
+//	    Demands: []treesched.Demand{
+//	        {ID: 0, U: 0, V: 4, Profit: 3, Height: 1, Access: []int{0}},
+//	        {ID: 1, U: 2, V: 5, Profit: 2, Height: 1, Access: []int{0}},
+//	    },
+//	}
+//	res, err := treesched.SolveTreeUnit(p, treesched.Options{Epsilon: 0.25})
+package treesched
+
+import (
+	"math/rand"
+
+	"treesched/internal/core"
+	"treesched/internal/gen"
+	"treesched/internal/graph"
+	"treesched/internal/instance"
+	"treesched/internal/verify"
+)
+
+// Problem is a complete scheduling input: networks, demands,
+// accessibility, and optional per-edge capacities.
+type Problem = instance.Problem
+
+// Demand is one processor's job: endpoints (trees) or window (lines),
+// profit, height, and the set of accessible networks.
+type Demand = instance.Demand
+
+// Instance is a demand instance: one concrete placement of a demand.
+type Instance = instance.Inst
+
+// Tree is an undirected tree network.
+type Tree = graph.Tree
+
+// Problem kinds.
+const (
+	// KindTree marks tree-network problems (§2 of the paper).
+	KindTree = instance.KindTree
+	// KindLine marks line-network problems with windows (§7).
+	KindLine = instance.KindLine
+)
+
+// NewTree builds a tree network over n vertices from n-1 undirected edges.
+func NewTree(n int, edges [][2]int) (*Tree, error) { return graph.NewTree(n, edges) }
+
+// NewPath builds the path graph 0-1-...-(n-1).
+func NewPath(n int) *Tree { return graph.NewPath(n) }
+
+// Result is an algorithm outcome: the selected instances, their profit,
+// and the weak-duality certificate.
+type Result = core.Result
+
+// DistributedResult couples a Result with measured network cost.
+type DistributedResult = core.DistributedResult
+
+// Options configures a solver run (epsilon, seed, trace collection,
+// decomposition choice).
+type Options = core.Options
+
+// SolveTreeUnit runs the (7+ε)-approximation for unit-height demands on
+// tree networks (Theorem 5.3).
+func SolveTreeUnit(p *Problem, opts Options) (*Result, error) { return core.TreeUnit(p, opts) }
+
+// SolveLineUnit runs the (4+ε)-approximation for unit-height demands on
+// line networks with windows (Theorem 7.1).
+func SolveLineUnit(p *Problem, opts Options) (*Result, error) { return core.LineUnit(p, opts) }
+
+// SolveNarrow runs the narrow-instance algorithm (Lemma 6.2); every
+// demand's effective height must be ≤ 1/2.
+func SolveNarrow(p *Problem, opts Options) (*Result, error) { return core.NarrowOnly(p, opts) }
+
+// SolveArbitrary runs the combined arbitrary-height algorithm
+// (Theorems 6.3 and 7.2), including non-uniform edge capacities.
+func SolveArbitrary(p *Problem, opts Options) (*Result, error) { return core.Arbitrary(p, opts) }
+
+// SolveSequential runs the Appendix-A sequential algorithm (unit heights,
+// tree networks): 3-approximation, 2 for a single tree.
+func SolveSequential(p *Problem, opts Options) (*Result, error) { return core.Sequential(p, opts) }
+
+// SolveExact computes the optimum by branch and bound (small instances
+// only; the problem is NP-hard). maxNodes caps the search; 0 = default.
+func SolveExact(p *Problem, maxNodes int64) (*Result, error) { return core.Exact(p, maxNodes) }
+
+// SolveGreedy runs the profit-greedy baseline.
+func SolveGreedy(p *Problem) (*Result, error) { return core.Greedy(p) }
+
+// SolvePanconesiSozio runs the single-stage (20+ε) baseline of [15,16] on
+// unit-height line networks.
+func SolvePanconesiSozio(p *Problem, opts Options) (*Result, error) {
+	return core.PanconesiSozioUnit(p, opts)
+}
+
+// SolveSequentialLine runs the classical sequential 2-approximation for
+// unit-height line networks with windows (Bar-Noy et al. / Berman–Dasgupta
+// style, reformulated in the two-phase framework).
+func SolveSequentialLine(p *Problem, opts Options) (*Result, error) {
+	return core.SequentialLine(p, opts)
+}
+
+// SolveDistributedPanconesiSozio is the message-passing driver of the
+// Panconesi–Sozio baseline.
+func SolveDistributedPanconesiSozio(p *Problem, opts Options) (*DistributedResult, error) {
+	return core.DistributedPanconesiSozio(p, opts)
+}
+
+// SolveDistributedUnit runs the unit-height algorithm as a real
+// message-passing protocol — one goroutine per processor — and reports
+// communication rounds and messages. Same selections as the centralized
+// solver for equal seeds.
+func SolveDistributedUnit(p *Problem, opts Options) (*DistributedResult, error) {
+	return core.DistributedUnit(p, opts)
+}
+
+// SolveDistributedNarrow is the message-passing driver of SolveNarrow.
+func SolveDistributedNarrow(p *Problem, opts Options) (*DistributedResult, error) {
+	return core.DistributedNarrow(p, opts)
+}
+
+// VerifySolution checks feasibility of a selection against the problem:
+// accessibility, one placement per demand, windows, and bandwidth.
+func VerifySolution(p *Problem, sel []Instance) error { return verify.Solution(p, sel) }
+
+// TreeWorkload parameterizes GenerateTreeProblem.
+type TreeWorkload = gen.TreeConfig
+
+// LineWorkload parameterizes GenerateLineProblem.
+type LineWorkload = gen.LineConfig
+
+// GenerateTreeProblem draws a random tree-network problem.
+func GenerateTreeProblem(cfg TreeWorkload, rng *rand.Rand) *Problem { return gen.TreeProblem(cfg, rng) }
+
+// GenerateLineProblem draws a random line-network problem.
+func GenerateLineProblem(cfg LineWorkload, rng *rand.Rand) *Problem { return gen.LineProblem(cfg, rng) }

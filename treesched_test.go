@@ -1,0 +1,132 @@
+package treesched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesched"
+)
+
+// TestQuickstart exercises the doc-comment example end to end.
+func TestQuickstart(t *testing.T) {
+	tree, err := treesched.NewTree(6, [][2]int{{0, 1}, {1, 2}, {1, 3}, {3, 4}, {3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &treesched.Problem{
+		Kind:        treesched.KindTree,
+		NumVertices: 6,
+		Trees:       []*treesched.Tree{tree},
+		Demands: []treesched.Demand{
+			{ID: 0, U: 0, V: 4, Profit: 3, Height: 1, Access: []int{0}},
+			{ID: 1, U: 2, V: 5, Profit: 2, Height: 1, Access: []int{0}},
+		},
+	}
+	res, err := treesched.SolveTreeUnit(p, treesched.Options{Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treesched.VerifySolution(p, res.Selected); err != nil {
+		t.Fatal(err)
+	}
+	// Paths 0-1-3-4 and 2-1-3-5 share edge 1-3: only one demand fits, and
+	// the dual certificate must bracket the optimum (profit 3).
+	if len(res.Selected) != 1 {
+		t.Fatalf("selected %d demands, want 1", len(res.Selected))
+	}
+	if res.DualUB < 3-1e-9 || res.Profit > 3 {
+		t.Fatalf("profit %g, dual UB %g", res.Profit, res.DualUB)
+	}
+}
+
+func TestFacadeSolversRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tp := treesched.GenerateTreeProblem(treesched.TreeWorkload{
+		N: 16, Trees: 2, Demands: 10, Unit: true,
+	}, rng)
+	lpb := treesched.GenerateLineProblem(treesched.LineWorkload{
+		Slots: 20, Resources: 2, Demands: 8, Unit: true,
+	}, rng)
+	mixed := treesched.GenerateTreeProblem(treesched.TreeWorkload{
+		N: 16, Trees: 2, Demands: 10, HMin: 0.1, HMax: 1,
+	}, rng)
+
+	for name, run := range map[string]func() (*treesched.Result, error){
+		"tree-unit":  func() (*treesched.Result, error) { return treesched.SolveTreeUnit(tp, treesched.Options{}) },
+		"line-unit":  func() (*treesched.Result, error) { return treesched.SolveLineUnit(lpb, treesched.Options{}) },
+		"arbitrary":  func() (*treesched.Result, error) { return treesched.SolveArbitrary(mixed, treesched.Options{}) },
+		"sequential": func() (*treesched.Result, error) { return treesched.SolveSequential(tp, treesched.Options{}) },
+		"exact":      func() (*treesched.Result, error) { return treesched.SolveExact(tp, 0) },
+		"greedy":     func() (*treesched.Result, error) { return treesched.SolveGreedy(tp) },
+		"ps":         func() (*treesched.Result, error) { return treesched.SolvePanconesiSozio(lpb, treesched.Options{}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var p *treesched.Problem
+		switch name {
+		case "line-unit", "ps":
+			p = lpb
+		case "arbitrary":
+			p = mixed
+		default:
+			p = tp
+		}
+		if err := treesched.VerifySolution(p, res.Selected); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	d, err := treesched.SolveDistributedUnit(tp, treesched.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Net.Rounds == 0 {
+		t.Fatal("distributed run reported zero rounds")
+	}
+}
+
+func TestFacadeLineExtras(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lpb := treesched.GenerateLineProblem(treesched.LineWorkload{
+		Slots: 24, Resources: 2, Demands: 10, Unit: true, MaxProc: 6,
+	}, rng)
+	seq, err := treesched.SolveSequentialLine(lpb, treesched.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treesched.VerifySolution(lpb, seq.Selected); err != nil {
+		t.Fatal(err)
+	}
+	if seq.Bound != 2 {
+		t.Fatalf("sequential-line bound %g want 2", seq.Bound)
+	}
+	dps, err := treesched.SolveDistributedPanconesiSozio(lpb, treesched.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treesched.VerifySolution(lpb, dps.Selected); err != nil {
+		t.Fatal(err)
+	}
+	narrow := treesched.GenerateLineProblem(treesched.LineWorkload{
+		Slots: 24, Resources: 2, Demands: 8, HMin: 0.2, HMax: 0.5, MaxProc: 6,
+	}, rng)
+	dn, err := treesched.SolveDistributedNarrow(narrow, treesched.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := treesched.VerifySolution(narrow, dn.Selected); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := treesched.SolveDistributedUnit(lpb, treesched.Options{Seed: 3, FixedRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Net.Aggregations != 0 {
+		t.Fatal("fixed-rounds run used aggregations")
+	}
+	if _, err := treesched.SolveNarrow(lpb, treesched.Options{}); err == nil {
+		t.Fatal("SolveNarrow accepted unit heights > 1/2")
+	}
+}
