@@ -56,6 +56,21 @@ func main() {
 	}
 
 	var b strings.Builder
+	if *out != "" {
+		which := "tables E1–E12, one per quantitative claim of the paper"
+		if strings.ToLower(*exp) != "all" {
+			which = "table " + strings.ToUpper(*exp)
+		}
+		fmt.Fprintf(&b, "# EXPERIMENTS\n\n")
+		fmt.Fprintf(&b, "Experiment %s\n", which)
+		fmt.Fprintf(&b, "(see DESIGN.md's per-experiment index). Generated — do not edit:\n\n")
+		quickFlag := ""
+		if *quick {
+			quickFlag = " -quick"
+		}
+		fmt.Fprintf(&b, "    go run ./cmd/schedbench -e %s -trials %d -seed %d%s -o %s\n\n",
+			*exp, *trials, *seed, quickFlag, *out)
+	}
 	for _, t := range tables {
 		b.WriteString(t.String())
 		b.WriteString("\n")

@@ -6,7 +6,7 @@
 //	schedtool gen  -kind tree|line [-n 32] [-nets 2] [-demands 20] [-unit]
 //	               [-hmin 0.1] [-hmax 1] [-cap 0] [-seed 1] > problem.json
 //	schedtool solve -algo tree-unit|line-unit|arbitrary|narrow|sequential|
-//	                     exact|greedy|ps|dist-unit|dist-narrow
+//	                     exact|greedy|ps|dist-unit|dist-narrow|dist-ps
 //	               [-eps 0.25] [-seed 1] < problem.json
 //	schedtool verify -solution sol.json < problem.json
 package main
@@ -101,6 +101,7 @@ type solveOutput struct {
 	Rounds         int                  `json:"rounds,omitempty"`
 	Messages       int64                `json:"messages,omitempty"`
 	Aggregations   int                  `json:"aggregations,omitempty"`
+	PayloadEntries int64                `json:"payload_entries,omitempty"`
 	// StepsPerStage[k][j] is the first-phase execution profile (with
 	// -trace): while-loop iterations of stage j+1 in epoch k+1.
 	StepsPerStage [][]int `json:"steps_per_stage,omitempty"`
@@ -153,6 +154,11 @@ func cmdSolve(args []string) {
 		if net != nil {
 			res = net.Result
 		}
+	case "dist-ps":
+		net, err = treesched.SolveDistributedPanconesiSozio(p, opts)
+		if net != nil {
+			res = net.Result
+		}
 	default:
 		die(fmt.Errorf("unknown algorithm %q", *algo))
 	}
@@ -174,6 +180,7 @@ func cmdSolve(args []string) {
 		out.Rounds = net.Net.Rounds
 		out.Messages = net.Net.Messages
 		out.Aggregations = net.Net.Aggregations
+		out.PayloadEntries = net.Net.Entries
 	}
 	if res.Trace != nil {
 		out.StepsPerStage = res.Trace.StepsPerStage

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"fmt"
+
+	"treesched/internal/dist"
+	"treesched/internal/instance"
+	"treesched/internal/lp"
+	"treesched/internal/mis"
+	"treesched/internal/model"
+)
+
+// This file is the shared protocol engine behind every Distributed*
+// driver: the first-phase epoch/stage/step loop with its embedded Luby
+// MIS subprotocol, the dual-raise announcements, and the reverse-stack
+// second phase, all expressed as collective operations on the dist BSP
+// runtime. A driver contributes only a distProtocol value — name, rule,
+// schedule, bound — mirroring how the centralized drivers in solvers.go
+// are thin configurations of runPhases.
+
+// Message payloads exchanged by the protocol. Every payload names demand
+// instances by id; a processor that learns an instance id can reconstruct
+// its path and critical edges from the globally known topology, so each
+// payload entry is O(M) bits in the paper's accounting (§5 "Distributed
+// Implementation"). All payloads implement dist.Sizer so the runtime can
+// tally Stats.Entries.
+type (
+	// prioPayload announces the sender's still-undecided participating
+	// instances and their Luby priorities for the current phase.
+	prioPayload struct {
+		Insts []int32
+		Prios []float64
+	}
+	// winPayload announces instances that joined the MIS this phase.
+	winPayload struct {
+		Insts []int32
+	}
+	// raisePayload announces dual raises: instance ids and their δ; the
+	// receivers recompute the β increments from the shared rule.
+	raisePayload struct {
+		Insts  []int32
+		Deltas []float64
+	}
+	// selPayload announces instances selected in the second phase.
+	selPayload struct {
+		Insts []int32
+	}
+)
+
+func (p *prioPayload) PayloadEntries() int  { return len(p.Insts) }
+func (p *winPayload) PayloadEntries() int   { return len(p.Insts) }
+func (p *raisePayload) PayloadEntries() int { return len(p.Insts) }
+func (p *selPayload) PayloadEntries() int   { return len(p.Insts) }
+
+// payloadArena double-buffers each payload type so the hot path sends
+// without allocating. Reuse is safe because every next* call is followed
+// by a collective barrier before the same buffer comes around again: a
+// buffer broadcast at collective t is truncated no earlier than the
+// node's second-next flip of that type, and by then the node has passed
+// at least one intervening barrier — which every live receiver also
+// entered, after it finished reading the collective-t payload (the
+// dist.Message contract). Adding a next* call that is not followed by a
+// collective would break this argument and race receivers.
+type payloadArena struct {
+	prioFlip, winFlip, raiseFlip, selFlip uint8
+
+	prio  [2]prioPayload
+	win   [2]winPayload
+	raise [2]raisePayload
+	sel   [2]selPayload
+}
+
+func (a *payloadArena) nextPrio() *prioPayload {
+	a.prioFlip ^= 1
+	p := &a.prio[a.prioFlip]
+	p.Insts, p.Prios = p.Insts[:0], p.Prios[:0]
+	return p
+}
+
+func (a *payloadArena) nextWin() *winPayload {
+	a.winFlip ^= 1
+	p := &a.win[a.winFlip]
+	p.Insts = p.Insts[:0]
+	return p
+}
+
+func (a *payloadArena) nextRaise() *raisePayload {
+	a.raiseFlip ^= 1
+	p := &a.raise[a.raiseFlip]
+	p.Insts, p.Deltas = p.Insts[:0], p.Deltas[:0]
+	return p
+}
+
+func (a *payloadArena) nextSel() *selPayload {
+	a.selFlip ^= 1
+	p := &a.sel[a.selFlip]
+	p.Insts = p.Insts[:0]
+	return p
+}
+
+// distProtocol parameterizes the engine: a distributed driver is nothing
+// more than a named (rule, schedule, bound) triple over a compiled model.
+type distProtocol struct {
+	name  string
+	rule  lp.Rule
+	sched Schedule
+	opts  Options
+	bound float64
+}
+
+// run executes the protocol on the BSP runtime — one goroutine per
+// processor, communication only between processors sharing a resource —
+// and assembles the merged, certificate-checked result. With equal seeds
+// it selects exactly the instances the centralized Phase1/Phase2 pair
+// selects — a tested invariant.
+func (cfg *distProtocol) run(p *instance.Problem, m *model.Model) (*DistributedResult, error) {
+	// Fixed-rounds mode: the paper's deterministic accounting. Every node
+	// runs exactly fixedSteps steps per stage and fixedPhases Luby phases
+	// per step, in lockstep, with no global aggregation at all.
+	fixedSteps, fixedPhases := 0, 0
+	if cfg.opts.FixedRounds {
+		fixedSteps = cfg.sched.FixedSteps(m)
+		if fixedSteps == 0 {
+			return nil, fmt.Errorf("core: FixedRounds requires a multi-stage schedule")
+		}
+		// Luby finishes in O(log N) phases w.h.p. (N = mr instances,
+		// [14]); exceeding the budget is detected and reported.
+		nn := len(m.Insts)
+		fixedPhases = 8
+		for v := nn; v > 0; v >>= 1 {
+			fixedPhases += 4
+		}
+	}
+
+	dr := localRule(cfg.rule)
+	nodes := make([]*nodeState, m.NumDemands)
+	errs := make([]error, m.NumDemands)
+	stats := dist.Run(p.CommGraph(), func(api *dist.API) {
+		u := api.ID()
+		e := &protoEngine{
+			cfg:         cfg,
+			m:           m,
+			dr:          dr,
+			api:         api,
+			ns:          newNodeState(m, u),
+			fixedSteps:  fixedSteps,
+			fixedPhases: fixedPhases,
+			undecided:   map[int32]bool{},
+			prio:        map[int32]float64{},
+		}
+		nodes[u] = e.ns
+		errs[u] = e.run()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assembleDistributed(cfg.name, m, cfg.rule, cfg.sched, nodes, stats, cfg.bound)
+}
+
+// protoEngine is the per-processor executor. The scratch fields are
+// reused across steps and phases so the steady state allocates nothing.
+type protoEngine struct {
+	cfg         *distProtocol
+	m           *model.Model
+	dr          distRule
+	api         *dist.API
+	ns          *nodeState
+	fixedSteps  int
+	fixedPhases int
+
+	// stepCounter is the global step number; it is per-node state but
+	// identical on every node (loop terminations are global aggregates or
+	// fixed counts), which is what lets the priority function and the
+	// phase-2 reverse walk agree across the network.
+	stepCounter uint64
+
+	arena         payloadArena
+	participating []int32
+	undecided     map[int32]bool
+	prio          map[int32]float64
+	nbr           []prioCand
+	phaseWinners  []int32
+	winners       []int32
+	allWinners    []int32
+}
+
+// prioCand is a neighbor's announced (instance, priority) pair.
+type prioCand struct {
+	inst int32
+	prio float64
+}
+
+func (e *protoEngine) conflicts(i, j int32) bool {
+	return e.m.Insts[i].Demand == e.m.Insts[j].Demand || e.m.P.Overlap(e.m.Insts[i], e.m.Insts[j])
+}
+
+// run executes the first phase over all (epoch, stage) tuples, then the
+// second phase over the global step sequence in reverse.
+func (e *protoEngine) run() error {
+	totalSteps := 0
+	for k := 1; k <= e.cfg.sched.Epochs; k++ {
+		for j := 1; j <= e.cfg.sched.Stages; j++ {
+			steps, err := e.stage(k, j)
+			if err != nil {
+				return err
+			}
+			totalSteps += steps
+		}
+	}
+	e.phase2(totalSteps)
+	return nil
+}
+
+// stage runs the while-loop of one (epoch, stage) tuple: find the owned
+// group-k instances still below the stage threshold, elect an independent
+// set of them via Luby, raise the winners tight, announce the raises —
+// until no processor has unsatisfied instances (global aggregate) or the
+// fixed step budget is spent.
+func (e *protoEngine) stage(k, j int) (int, error) {
+	threshold := e.cfg.sched.Thresholds[j-1]
+	steps := 0
+	for {
+		// Participation: owned group-k instances that are
+		// threshold-unsatisfied under local duals.
+		e.participating = e.participating[:0]
+		for _, i := range e.ns.mine {
+			if int(e.m.Group[i]) == k &&
+				e.dr.lhs(e.m, e.ns, i) < threshold*e.m.Insts[i].Profit-lp.Tol {
+				e.participating = append(e.participating, i)
+			}
+		}
+		if e.fixedSteps > 0 {
+			if steps >= e.fixedSteps {
+				if len(e.participating) > 0 {
+					return 0, fmt.Errorf("core: fixed schedule left instances unsatisfied after %d steps in stage (%d,%d)", e.fixedSteps, k, j)
+				}
+				break
+			}
+		} else if !e.api.Aggregate(len(e.participating) > 0) {
+			break
+		}
+		steps++
+		if steps > e.cfg.sched.MaxSteps {
+			return 0, fmt.Errorf("core: distributed stage (%d,%d) exceeded %d steps", k, j, e.cfg.sched.MaxSteps)
+		}
+		e.stepCounter++
+
+		winners, err := e.lubyMIS()
+		if err != nil {
+			return 0, err
+		}
+		e.raiseAndAnnounce(winners)
+	}
+	return steps, nil
+}
+
+// lubyMIS elects a maximal independent set of the participating instances
+// by deterministic-priority Luby: each phase is two rounds (priorities,
+// then winners), and the loop ends when a global aggregate reports no
+// undecided instance anywhere (or the fixed phase budget is reached).
+func (e *protoEngine) lubyMIS() ([]int32, error) {
+	clear(e.undecided)
+	for _, i := range e.participating {
+		e.undecided[i] = true
+	}
+	e.winners = e.winners[:0]
+	for phase := 1; ; phase++ {
+		// Round A: announce undecided instances + priorities.
+		clear(e.prio)
+		pp := e.arena.nextPrio()
+		for _, i := range e.participating {
+			if e.undecided[i] {
+				pr := mis.Priority(e.cfg.opts.Seed, i, e.stepCounter, phase)
+				e.prio[i] = pr
+				pp.Insts = append(pp.Insts, i)
+				pp.Prios = append(pp.Prios, pr)
+			}
+		}
+		var in []dist.Message
+		if len(pp.Insts) > 0 {
+			in = e.api.Broadcast(pp)
+		} else {
+			in = e.api.Exchange(nil)
+		}
+		e.nbr = e.nbr[:0]
+		for _, msg := range in {
+			pl := msg.Payload.(*prioPayload)
+			for x, inst := range pl.Insts {
+				e.nbr = append(e.nbr, prioCand{inst: inst, prio: pl.Prios[x]})
+			}
+		}
+		// Local win decision for each owned undecided instance: beat
+		// every conflicting undecided instance by (priority, id).
+		e.phaseWinners = e.phaseWinners[:0]
+		for _, i := range e.participating {
+			if !e.undecided[i] {
+				continue
+			}
+			best := true
+			for _, o := range e.ns.mine {
+				if o != i && e.undecided[o] &&
+					(e.prio[o] < e.prio[i] || (e.prio[o] == e.prio[i] && o < i)) {
+					best = false
+					break
+				}
+			}
+			for _, c := range e.nbr {
+				if !best {
+					break
+				}
+				if e.conflicts(i, c.inst) &&
+					(c.prio < e.prio[i] || (c.prio == e.prio[i] && c.inst < i)) {
+					best = false
+				}
+			}
+			if best {
+				e.phaseWinners = append(e.phaseWinners, i)
+			}
+		}
+		// Round B: announce winners; exclude dominated.
+		var winIn []dist.Message
+		if len(e.phaseWinners) > 0 {
+			wp := e.arena.nextWin()
+			wp.Insts = append(wp.Insts, e.phaseWinners...)
+			winIn = e.api.Broadcast(wp)
+		} else {
+			winIn = e.api.Exchange(nil)
+		}
+		for _, i := range e.phaseWinners {
+			e.undecided[i] = false
+			e.winners = append(e.winners, i)
+		}
+		e.allWinners = append(e.allWinners[:0], e.phaseWinners...)
+		for _, msg := range winIn {
+			e.allWinners = append(e.allWinners, msg.Payload.(*winPayload).Insts...)
+		}
+		for _, i := range e.participating {
+			if !e.undecided[i] {
+				continue
+			}
+			for _, w := range e.allWinners {
+				if e.conflicts(i, w) {
+					e.undecided[i] = false
+					break
+				}
+			}
+		}
+		stillAny := false
+		for _, i := range e.participating {
+			if e.undecided[i] {
+				stillAny = true
+				break
+			}
+		}
+		if e.fixedPhases > 0 {
+			if phase >= e.fixedPhases {
+				if stillAny {
+					return nil, fmt.Errorf("core: Luby exceeded the fixed %d-phase budget (w.h.p. bound missed; reseed)", e.fixedPhases)
+				}
+				break
+			}
+			continue
+		}
+		if !e.api.Aggregate(stillAny) {
+			break
+		}
+	}
+	return e.winners, nil
+}
+
+// raiseAndAnnounce raises the step's winners tight and broadcasts the
+// raises; receivers fold them into their β copies. The MIS picks at most
+// one instance per demand (same-demand instances conflict), so winners
+// has length ≤ 1 here.
+func (e *protoEngine) raiseAndAnnounce(winners []int32) {
+	rp := e.arena.nextRaise()
+	for _, i := range winners {
+		delta := e.ns.raiseLocal(e.m, e.dr, i)
+		e.ns.stack = append(e.ns.stack, i)
+		e.ns.raiseSteps = append(e.ns.raiseSteps, int(e.stepCounter))
+		rp.Insts = append(rp.Insts, i)
+		rp.Deltas = append(rp.Deltas, delta)
+	}
+	var raiseIn []dist.Message
+	if len(rp.Insts) > 0 {
+		raiseIn = e.api.Broadcast(rp)
+	} else {
+		raiseIn = e.api.Exchange(nil)
+	}
+	for _, msg := range raiseIn {
+		pl := msg.Payload.(*raisePayload)
+		for x, inst := range pl.Insts {
+			e.ns.applyRemoteRaise(e.m, e.dr, inst, pl.Deltas[x])
+		}
+	}
+}
+
+// phase2 is the distributed reverse-stack selection. All nodes observed
+// identical step counts (the loop breaks are global aggregates or fixed
+// budgets), so they walk the same global step sequence in reverse: one
+// communication round per step. Feasibility is tracked on the node's
+// relevant edges from its own selections and the neighbors'
+// announcements.
+func (e *protoEngine) phase2(totalSteps int) {
+	load := map[int32]float64{}
+	demandUsed := false
+	stackTop := len(e.ns.stack) - 1
+	for t := totalSteps; t >= 1; t-- {
+		announce := int32(-1)
+		if stackTop >= 0 && e.ns.raiseSteps[stackTop] == t {
+			i := e.ns.stack[stackTop]
+			stackTop--
+			d := e.m.Insts[i]
+			fits := !demandUsed
+			if fits {
+				for _, edge := range e.m.Paths[i] {
+					if load[edge]+d.Height > e.m.Cap[edge]+lp.Tol {
+						fits = false
+						break
+					}
+				}
+			}
+			if fits {
+				demandUsed = true
+				for _, edge := range e.m.Paths[i] {
+					load[edge] += d.Height
+				}
+				e.ns.selected = append(e.ns.selected, i)
+				announce = i
+			}
+		}
+		var selIn []dist.Message
+		if announce >= 0 {
+			sp := e.arena.nextSel()
+			sp.Insts = append(sp.Insts, announce)
+			selIn = e.api.Broadcast(sp)
+		} else {
+			selIn = e.api.Exchange(nil)
+		}
+		for _, msg := range selIn {
+			for _, inst := range msg.Payload.(*selPayload).Insts {
+				h := e.m.Insts[inst].Height
+				for _, edge := range e.m.Paths[inst] {
+					if e.ns.relevant[edge] {
+						load[edge] += h
+					}
+				}
+			}
+		}
+	}
+}

@@ -7,426 +7,24 @@ import (
 	"treesched/internal/dist"
 	"treesched/internal/instance"
 	"treesched/internal/lp"
-	"treesched/internal/mis"
 	"treesched/internal/model"
 )
+
+// The distributed drivers in this file are thin configurations of the
+// shared protocol engine in distproto.go: each contributes a rule, a
+// schedule and a bound, exactly as the centralized drivers in solvers.go
+// configure runPhases. The node-local dual arithmetic lives in
+// distrule.go; the synchronous runtime the protocol executes on is
+// internal/dist.
 
 // DistributedResult couples an algorithm Result with the measured network
 // cost of the message-passing execution.
 type DistributedResult struct {
 	*Result
-	// Net reports communication rounds, messages and global aggregations
-	// measured by the simulator.
+	// Net reports communication rounds, messages, payload entries and
+	// global aggregations measured by the simulator (see the internal/dist
+	// package comment for the accounting rules).
 	Net dist.Stats
-}
-
-// Message payloads exchanged by the protocol. Every payload names demand
-// instances by id; a processor that learns an instance id can reconstruct
-// its path and critical edges from the globally known topology, so each
-// payload entry is O(M) bits in the paper's accounting (§5 "Distributed
-// Implementation").
-type (
-	// prioPayload announces the sender's still-undecided participating
-	// instances and their Luby priorities for the current phase.
-	prioPayload struct {
-		Insts []int32
-		Prios []float64
-	}
-	// winPayload announces instances that joined the MIS this phase.
-	winPayload struct {
-		Insts []int32
-	}
-	// raisePayload announces dual raises: instance ids and their δ; the
-	// receivers recompute the β increments from the shared rule.
-	raisePayload struct {
-		Insts  []int32
-		Deltas []float64
-	}
-	// selPayload announces instances selected in the second phase.
-	selPayload struct {
-		Insts []int32
-	}
-)
-
-// nodeState is the per-processor private state of the protocol.
-type nodeState struct {
-	mine       []int32           // instance ids owned by this processor
-	alpha      float64           // α of the owned demand
-	beta       map[int32]float64 // local copies of β for relevant edges
-	relevant   map[int32]bool    // edges on any owned instance's path
-	stack      []int32           // raised instances, in raise order
-	raiseSteps []int             // global step number of each raise (parallel to stack)
-	selected   []int32           // phase-2 output
-}
-
-// lhsLocal evaluates the dual constraint LHS of an owned instance from
-// local state; it matches lp.Rule.LHS exactly because local β copies stay
-// consistent (every raiser of a relevant edge shares a resource with us).
-func (ns *nodeState) lhsLocal(m *model.Model, rule lp.Rule, i int32) float64 {
-	sum := 0.0
-	switch rule.(type) {
-	case lp.Unit:
-		for _, e := range m.Paths[i] {
-			sum += ns.beta[e]
-		}
-		return ns.alpha + sum
-	case lp.Narrow:
-		for _, e := range m.Paths[i] {
-			sum += ns.beta[e]
-		}
-		return ns.alpha + m.Insts[i].Height*sum
-	case lp.Capacitated:
-		for _, e := range m.Paths[i] {
-			sum += ns.beta[e] / m.Cap[e]
-		}
-		return ns.alpha + m.Insts[i].Height*sum
-	default:
-		panic("core: distributed protocol does not support rule " + rule.Name())
-	}
-}
-
-// raiseLocal applies the raise of owned instance i to local state and
-// returns δ; mirrors lp.Rule.Raise.
-func (ns *nodeState) raiseLocal(m *model.Model, rule lp.Rule, i int32) float64 {
-	s := m.Insts[i].Profit - ns.lhsLocal(m, rule, i)
-	if s <= lp.Tol {
-		return 0
-	}
-	pi := m.Pi[i]
-	k := float64(len(pi))
-	var delta float64
-	switch rule.(type) {
-	case lp.Unit:
-		delta = s / (k + 1)
-		ns.alpha += delta
-		for _, e := range pi {
-			ns.applyBeta(e, delta)
-		}
-	case lp.Narrow:
-		h := m.Insts[i].Height
-		delta = s / (1 + 2*h*k*k)
-		ns.alpha += delta
-		for _, e := range pi {
-			ns.applyBeta(e, 2*k*delta)
-		}
-	case lp.Capacitated:
-		h := m.Insts[i].Height
-		delta = s / (1 + 2*h*k*k)
-		ns.alpha += delta
-		for _, e := range pi {
-			ns.applyBeta(e, 2*k*m.Cap[e]*delta)
-		}
-	}
-	return delta
-}
-
-// applyRemoteRaise folds a neighbor's announced raise into local β copies.
-func (ns *nodeState) applyRemoteRaise(m *model.Model, rule lp.Rule, i int32, delta float64) {
-	pi := m.Pi[i]
-	k := float64(len(pi))
-	for _, e := range pi {
-		if !ns.relevant[e] {
-			continue
-		}
-		switch rule.(type) {
-		case lp.Unit:
-			ns.applyBeta(e, delta)
-		case lp.Narrow:
-			ns.applyBeta(e, 2*k*delta)
-		case lp.Capacitated:
-			ns.applyBeta(e, 2*k*m.Cap[e]*delta)
-		}
-	}
-}
-
-func (ns *nodeState) applyBeta(e int32, inc float64) {
-	if ns.relevant[e] {
-		ns.beta[e] += inc
-	}
-}
-
-// distributedRun executes phase 1 and phase 2 of the framework as a
-// message-passing protocol on the BSP simulator: one goroutine per
-// processor, communication only between processors sharing a resource.
-// With equal seeds it selects exactly the instances the centralized
-// Phase1/Phase2 pair selects — a tested invariant.
-func distributedRun(name string, p *instance.Problem, m *model.Model, rule lp.Rule, sched Schedule, opts Options, bound float64) (*DistributedResult, error) {
-	adj := p.CommGraph()
-	nodes := make([]*nodeState, m.NumDemands)
-	var protoErr error
-
-	// Fixed-rounds mode: the paper's deterministic accounting. Every node
-	// runs exactly fixedSteps steps per stage and fixedPhases Luby phases
-	// per step, in lockstep, with no global aggregation at all.
-	fixedSteps, fixedPhases := 0, 0
-	if opts.FixedRounds {
-		fixedSteps = sched.FixedSteps(m)
-		if fixedSteps == 0 {
-			return nil, fmt.Errorf("core: FixedRounds requires a multi-stage schedule")
-		}
-		// Luby finishes in O(log N) phases w.h.p. (N = mr instances,
-		// [14]); exceeding the budget is detected and reported.
-		nn := len(m.Insts)
-		fixedPhases = 8
-		for v := nn; v > 0; v >>= 1 {
-			fixedPhases += 4
-		}
-	}
-
-	stats := dist.Run(adj, func(api *dist.API) {
-		u := api.ID()
-		ns := &nodeState{
-			mine:     m.InstsOf[u],
-			beta:     map[int32]float64{},
-			relevant: map[int32]bool{},
-		}
-		nodes[u] = ns
-		for _, i := range ns.mine {
-			for _, e := range m.Paths[i] {
-				ns.relevant[e] = true
-			}
-		}
-
-		conflicts := func(i, j int32) bool {
-			return m.Insts[i].Demand == m.Insts[j].Demand || m.P.Overlap(m.Insts[i], m.Insts[j])
-		}
-
-		// ---- First phase ----
-		stepCounter := uint64(0)
-		var tupleSteps []int // steps of each (epoch,stage), identical on all nodes
-		for k := 1; k <= sched.Epochs; k++ {
-			for j := 1; j <= sched.Stages; j++ {
-				threshold := sched.Thresholds[j-1]
-				steps := 0
-				for {
-					// Participation: owned group-k instances that are
-					// threshold-unsatisfied under local duals.
-					var participating []int32
-					for _, i := range ns.mine {
-						if int(m.Group[i]) == k &&
-							ns.lhsLocal(m, rule, i) < threshold*m.Insts[i].Profit-lp.Tol {
-							participating = append(participating, i)
-						}
-					}
-					if fixedSteps > 0 {
-						if steps >= fixedSteps {
-							if len(participating) > 0 {
-								protoErr = fmt.Errorf("core: fixed schedule left instances unsatisfied after %d steps in stage (%d,%d)", fixedSteps, k, j)
-								return
-							}
-							break
-						}
-					} else if !api.Aggregate(len(participating) > 0) {
-						break
-					}
-					steps++
-					if steps > sched.MaxSteps {
-						protoErr = fmt.Errorf("core: distributed stage (%d,%d) exceeded %d steps", k, j, sched.MaxSteps)
-						return
-					}
-					stepCounter++
-
-					// Luby MIS over the participating instances.
-					undecided := map[int32]bool{}
-					for _, i := range participating {
-						undecided[i] = true
-					}
-					var winners []int32
-					for phase := 1; ; phase++ {
-						// Round A: announce undecided instances + priorities.
-						var pp prioPayload
-						prio := map[int32]float64{}
-						for _, i := range participating {
-							if undecided[i] {
-								pr := mis.Priority(opts.Seed, i, stepCounter, phase)
-								prio[i] = pr
-								pp.Insts = append(pp.Insts, i)
-								pp.Prios = append(pp.Prios, pr)
-							}
-						}
-						var in []dist.Message
-						if len(pp.Insts) > 0 {
-							in = api.Broadcast(pp)
-						} else {
-							in = api.Exchange(nil)
-						}
-						type cand struct {
-							inst int32
-							prio float64
-						}
-						var nbr []cand
-						for _, msg := range in {
-							pl := msg.Payload.(prioPayload)
-							for x, inst := range pl.Insts {
-								nbr = append(nbr, cand{inst, pl.Prios[x]})
-							}
-						}
-						// Local win decision for each owned undecided
-						// instance: beat every conflicting undecided
-						// instance by (priority, id).
-						var phaseWinners []int32
-						for _, i := range participating {
-							if !undecided[i] {
-								continue
-							}
-							best := true
-							for _, o := range ns.mine {
-								if o != i && undecided[o] &&
-									(prio[o] < prio[i] || (prio[o] == prio[i] && o < i)) {
-									best = false
-									break
-								}
-							}
-							for _, c := range nbr {
-								if !best {
-									break
-								}
-								if conflicts(i, c.inst) &&
-									(c.prio < prio[i] || (c.prio == prio[i] && c.inst < i)) {
-									best = false
-								}
-							}
-							if best {
-								phaseWinners = append(phaseWinners, i)
-							}
-						}
-						// Round B: announce winners; exclude dominated.
-						var winIn []dist.Message
-						if len(phaseWinners) > 0 {
-							winIn = api.Broadcast(winPayload{Insts: phaseWinners})
-						} else {
-							winIn = api.Exchange(nil)
-						}
-						for _, i := range phaseWinners {
-							undecided[i] = false
-							winners = append(winners, i)
-						}
-						var allWinners []int32
-						allWinners = append(allWinners, phaseWinners...)
-						for _, msg := range winIn {
-							allWinners = append(allWinners, msg.Payload.(winPayload).Insts...)
-						}
-						for _, i := range participating {
-							if !undecided[i] {
-								continue
-							}
-							for _, w := range allWinners {
-								if conflicts(i, w) {
-									undecided[i] = false
-									break
-								}
-							}
-						}
-						stillAny := false
-						for _, i := range participating {
-							if undecided[i] {
-								stillAny = true
-								break
-							}
-						}
-						if fixedPhases > 0 {
-							if phase >= fixedPhases {
-								if stillAny {
-									protoErr = fmt.Errorf("core: Luby exceeded the fixed %d-phase budget (w.h.p. bound missed; reseed)", fixedPhases)
-									return
-								}
-								break
-							}
-							continue
-						}
-						if !api.Aggregate(stillAny) {
-							break
-						}
-					}
-
-					// Raise winners and announce the raises. The MIS picks
-					// at most one instance per demand (same-demand
-					// instances conflict), so winners has length ≤ 1 here.
-					var rp raisePayload
-					for _, i := range winners {
-						delta := ns.raiseLocal(m, rule, i)
-						ns.stack = append(ns.stack, i)
-						ns.raiseSteps = append(ns.raiseSteps, int(stepCounter))
-						rp.Insts = append(rp.Insts, i)
-						rp.Deltas = append(rp.Deltas, delta)
-					}
-					var raiseIn []dist.Message
-					if len(rp.Insts) > 0 {
-						raiseIn = api.Broadcast(rp)
-					} else {
-						raiseIn = api.Exchange(nil)
-					}
-					for _, msg := range raiseIn {
-						pl := msg.Payload.(raisePayload)
-						for x, inst := range pl.Insts {
-							ns.applyRemoteRaise(m, rule, inst, pl.Deltas[x])
-						}
-					}
-				}
-				tupleSteps = append(tupleSteps, steps)
-			}
-		}
-
-		// ---- Second phase ----
-		// All nodes observed identical step counts (the loop breaks are
-		// global aggregates), so they walk the same global step sequence
-		// in reverse: one communication round per step tuple. Feasibility
-		// is tracked on the node's relevant edges from its own selections
-		// and the neighbors' announcements.
-		load := map[int32]float64{}
-		demandUsed := false
-		stackTop := len(ns.stack) - 1
-		totalSteps := 0
-		for _, s := range tupleSteps {
-			totalSteps += s
-		}
-		for t := totalSteps; t >= 1; t-- {
-			var announce []int32
-			if stackTop >= 0 && ns.raiseSteps[stackTop] == t {
-				i := ns.stack[stackTop]
-				stackTop--
-				d := m.Insts[i]
-				fits := !demandUsed
-				if fits {
-					for _, e := range m.Paths[i] {
-						if load[e]+d.Height > m.Cap[e]+lp.Tol {
-							fits = false
-							break
-						}
-					}
-				}
-				if fits {
-					demandUsed = true
-					for _, e := range m.Paths[i] {
-						load[e] += d.Height
-					}
-					ns.selected = append(ns.selected, i)
-					announce = append(announce, i)
-				}
-			}
-			var selIn []dist.Message
-			if len(announce) > 0 {
-				selIn = api.Broadcast(selPayload{Insts: announce})
-			} else {
-				selIn = api.Exchange(nil)
-			}
-			for _, msg := range selIn {
-				for _, inst := range msg.Payload.(selPayload).Insts {
-					h := m.Insts[inst].Height
-					for _, e := range m.Paths[inst] {
-						if ns.relevant[e] {
-							load[e] += h
-						}
-					}
-				}
-			}
-		}
-	})
-	if protoErr != nil {
-		return nil, protoErr
-	}
-
-	return assembleDistributed(name, m, rule, sched, nodes, stats, bound)
 }
 
 // DistributedUnit runs the unit-height algorithm (§5 for trees, §7 for
@@ -444,12 +42,18 @@ func DistributedUnit(p *instance.Problem, opts Options) (*DistributedResult, err
 		return nil, err
 	}
 	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
-	bound := float64(m.Delta+1) / sched.Lambda
 	name := "tree-unit"
 	if p.Kind == instance.KindLine {
 		name = "line-unit"
 	}
-	return distributedRun(name, p, m, lp.Unit{}, sched, opts, bound)
+	cfg := &distProtocol{
+		name:  name,
+		rule:  lp.Unit{},
+		sched: sched,
+		opts:  opts,
+		bound: float64(m.Delta+1) / sched.Lambda,
+	}
+	return cfg.run(p, m)
 }
 
 // DistributedPanconesiSozio runs the single-stage line-network baseline of
@@ -472,8 +76,14 @@ func DistributedPanconesiSozio(p *instance.Problem, opts Options) (*DistributedR
 	}
 	lambda := 1 / (5 + opts.Epsilon)
 	sched := NewSingleStageSchedule(m, lambda)
-	bound := float64(m.Delta+1) / lambda
-	return distributedRun("panconesi-sozio-unit", p, m, lp.Unit{}, sched, opts, bound)
+	cfg := &distProtocol{
+		name:  "panconesi-sozio-unit",
+		rule:  lp.Unit{},
+		sched: sched,
+		opts:  opts,
+		bound: float64(m.Delta+1) / lambda,
+	}
+	return cfg.run(p, m)
 }
 
 // DistributedNarrow runs the §6.1 narrow-instance algorithm as a
@@ -495,8 +105,14 @@ func DistributedNarrow(p *instance.Problem, opts Options) (*DistributedResult, e
 		}
 	}
 	sched := NewSchedule(m, NarrowXi(m.Delta, hmin), opts.Epsilon)
-	bound := float64(2*m.Delta*m.Delta+1) / sched.Lambda
-	return distributedRun("narrow", p, m, narrowRule(p), sched, opts, bound)
+	cfg := &distProtocol{
+		name:  "narrow",
+		rule:  narrowRule(p),
+		sched: sched,
+		opts:  opts,
+		bound: float64(2*m.Delta*m.Delta+1) / sched.Lambda,
+	}
+	return cfg.run(p, m)
 }
 
 // assembleDistributed merges per-node state into a Result: global duals are

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"treesched/internal/lp"
+	"treesched/internal/model"
+)
+
+// distRule is the node-local mirror of an lp.Rule: it evaluates the dual
+// constraint and computes raise increments from a processor's private β
+// copies instead of the shared duals. Keeping the three rule variants
+// behind this interface is what lets one protocol engine (distproto.go)
+// drive every distributed algorithm, the same way lp.Rule lets runPhases
+// drive every centralized one.
+//
+// The arithmetic must match lp.Rule exactly — the tested invariant is
+// that distributed and centralized runs select identical instances for
+// equal seeds — and it does, because every raiser of an edge relevant to
+// a node shares a resource with that node, so local β copies never drift
+// (cross-checked again in assembleDistributed).
+type distRule interface {
+	// lhs evaluates the dual constraint LHS of owned instance i from local
+	// state; matches lp.Rule.LHS.
+	lhs(m *model.Model, ns *nodeState, i int32) float64
+	// delta returns the raise amount for instance i given slack s and
+	// critical-set size k; matches lp.Rule.Raise's α increment.
+	delta(m *model.Model, i int32, s, k float64) float64
+	// betaInc returns the β increment on critical edge e implied by a
+	// raise of δ on an instance with critical-set size k.
+	betaInc(m *model.Model, e int32, k, delta float64) float64
+}
+
+// localRule maps an lp.Rule to its node-local mirror.
+func localRule(rule lp.Rule) distRule {
+	switch rule.(type) {
+	case lp.Unit:
+		return unitLocal{}
+	case lp.Narrow:
+		return narrowLocal{}
+	case lp.Capacitated:
+		return capLocal{}
+	default:
+		panic("core: distributed protocol does not support rule " + rule.Name())
+	}
+}
+
+// unitLocal mirrors lp.Unit: LHS = α + Σβ, δ = s/(k+1), β += δ.
+type unitLocal struct{}
+
+func (unitLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += ns.beta[e]
+	}
+	return ns.alpha + sum
+}
+
+func (unitLocal) delta(m *model.Model, i int32, s, k float64) float64 {
+	return s / (k + 1)
+}
+
+func (unitLocal) betaInc(m *model.Model, e int32, k, delta float64) float64 {
+	return delta
+}
+
+// narrowLocal mirrors lp.Narrow: LHS = α + h·Σβ, δ = s/(1+2hk²),
+// β += 2kδ.
+type narrowLocal struct{}
+
+func (narrowLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += ns.beta[e]
+	}
+	return ns.alpha + m.Insts[i].Height*sum
+}
+
+func (narrowLocal) delta(m *model.Model, i int32, s, k float64) float64 {
+	h := m.Insts[i].Height
+	return s / (1 + 2*h*k*k)
+}
+
+func (narrowLocal) betaInc(m *model.Model, e int32, k, delta float64) float64 {
+	return 2 * k * delta
+}
+
+// capLocal mirrors lp.Capacitated: LHS = α + h·Σβ/c(e), δ = s/(1+2hk²),
+// β += 2k·c(e)·δ.
+type capLocal struct{}
+
+func (capLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
+	sum := 0.0
+	for _, e := range m.Paths[i] {
+		sum += ns.beta[e] / m.Cap[e]
+	}
+	return ns.alpha + m.Insts[i].Height*sum
+}
+
+func (capLocal) delta(m *model.Model, i int32, s, k float64) float64 {
+	h := m.Insts[i].Height
+	return s / (1 + 2*h*k*k)
+}
+
+func (capLocal) betaInc(m *model.Model, e int32, k, delta float64) float64 {
+	return 2 * k * m.Cap[e] * delta
+}
+
+// nodeState is the per-processor private state of the protocol.
+type nodeState struct {
+	mine       []int32           // instance ids owned by this processor
+	alpha      float64           // α of the owned demand
+	beta       map[int32]float64 // local copies of β for relevant edges
+	relevant   map[int32]bool    // edges on any owned instance's path
+	stack      []int32           // raised instances, in raise order
+	raiseSteps []int             // global step number of each raise (parallel to stack)
+	selected   []int32           // phase-2 output
+}
+
+func newNodeState(m *model.Model, u int) *nodeState {
+	ns := &nodeState{
+		mine:     m.InstsOf[u],
+		beta:     map[int32]float64{},
+		relevant: map[int32]bool{},
+	}
+	for _, i := range ns.mine {
+		for _, e := range m.Paths[i] {
+			ns.relevant[e] = true
+		}
+	}
+	return ns
+}
+
+// raiseLocal raises owned instance i tight against local state and
+// returns δ; mirrors lp.Rule.Raise.
+func (ns *nodeState) raiseLocal(m *model.Model, dr distRule, i int32) float64 {
+	s := m.Insts[i].Profit - dr.lhs(m, ns, i)
+	if s <= lp.Tol {
+		return 0
+	}
+	pi := m.Pi[i]
+	k := float64(len(pi))
+	delta := dr.delta(m, i, s, k)
+	ns.alpha += delta
+	for _, e := range pi {
+		ns.applyBeta(e, dr.betaInc(m, e, k, delta))
+	}
+	return delta
+}
+
+// applyRemoteRaise folds a neighbor's announced raise into local β copies.
+func (ns *nodeState) applyRemoteRaise(m *model.Model, dr distRule, i int32, delta float64) {
+	pi := m.Pi[i]
+	k := float64(len(pi))
+	for _, e := range pi {
+		ns.applyBeta(e, dr.betaInc(m, e, k, delta))
+	}
+}
+
+func (ns *nodeState) applyBeta(e int32, inc float64) {
+	if ns.relevant[e] {
+		ns.beta[e] += inc
+	}
+}

@@ -1,0 +1,64 @@
+package dist
+
+import "testing"
+
+// benchBody is a protocol shaped like the core hot path: every processor
+// broadcasts a small payload each round, double-buffering the payload the
+// same way the protocol engine's arena does, and folds its inbox.
+func benchBody(rounds, entries int) func(*API) {
+	return func(api *API) {
+		var bufs [2]idsPayload
+		for i := range bufs {
+			bufs[i].Ids = make([]int32, entries)
+		}
+		sink := int64(0)
+		for r := 0; r < rounds; r++ {
+			p := &bufs[r&1]
+			for x := range p.Ids {
+				p.Ids[x] = int32(api.ID() + r + x)
+			}
+			for _, m := range api.Broadcast(p) {
+				sink += int64(m.Payload.(*idsPayload).Ids[0])
+			}
+		}
+		_ = sink
+	}
+}
+
+// BenchmarkRingBroadcast measures the per-round cost of the runtime
+// itself: barrier + batched delivery on a 64-cycle, 32 rounds per run.
+func BenchmarkRingBroadcast(b *testing.B) {
+	adj := ring(64)
+	body := benchBody(32, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunOn(NewLocalTransport(adj), body)
+	}
+}
+
+// BenchmarkCompleteBroadcast stresses delivery fan-out: 32 processors,
+// all-to-all, 16 rounds per run.
+func BenchmarkCompleteBroadcast(b *testing.B) {
+	adj := complete(32)
+	body := benchBody(16, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunOn(NewLocalTransport(adj), body)
+	}
+}
+
+// BenchmarkAggregate measures the global-OR barrier alone.
+func BenchmarkAggregate(b *testing.B) {
+	adj := ring(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(adj, func(api *API) {
+			for r := 0; r < 32; r++ {
+				api.Aggregate(r%7 == 0)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package dist
+
+import "slices"
+
+// Transport routes one synchronous round of batched outboxes to inboxes.
+// Implementations must be deterministic: for a fixed topology and outbox
+// vector, every inbox must come out identical across calls — the runtime
+// relies on this for reproducible Stats and protocol executions.
+//
+// The in-process LocalTransport is the first implementation; the
+// interface is the seam for future ones (sharded in-process delivery,
+// socket-backed multi-machine execution) without touching the protocols.
+type Transport interface {
+	// NumNodes returns the number of processors.
+	NumNodes() int
+	// Deliver routes one round: out[v] is processor v's payload (nil =
+	// silent). For every live processor u it must rebuild in[u] — reusing
+	// the backing array via in[u][:0] — appending Message{From: v,
+	// Payload: out[v]} for each neighbor v with a non-nil payload, in
+	// ascending sender order. Departed processors (live[u] false) receive
+	// nothing and contribute nothing to the counts; their inboxes must be
+	// emptied so they stop retaining payloads. It returns the number of
+	// messages delivered and the total payload entries (per the Sizer
+	// protocol) across deliveries.
+	Deliver(out []any, in [][]Message, live []bool) (msgs, entries int64)
+}
+
+// LocalTransport delivers rounds in-process over a fixed undirected
+// communication graph: processor u receives from every neighbor in
+// adj[u]. Delivery is one pass over the adjacency lists per round —
+// batched, allocation-free after warm-up, no channels.
+type LocalTransport struct {
+	adj [][]int32
+}
+
+// NewLocalTransport builds the in-process transport for a communication
+// graph given as adjacency lists over processor ids. The lists are copied
+// and sorted so delivery order (and thus the protocols' executions) is
+// independent of how the caller ordered neighbors.
+func NewLocalTransport(adj [][]int32) *LocalTransport {
+	sorted := make([][]int32, len(adj))
+	for u, nbrs := range adj {
+		s := make([]int32, len(nbrs))
+		copy(s, nbrs)
+		slices.Sort(s)
+		sorted[u] = s
+	}
+	return &LocalTransport{adj: sorted}
+}
+
+// NumNodes returns the number of processors.
+func (t *LocalTransport) NumNodes() int { return len(t.adj) }
+
+// Deliver implements Transport.
+func (t *LocalTransport) Deliver(out []any, in [][]Message, live []bool) (int64, int64) {
+	var msgs, entries int64
+	for u := range t.adj {
+		if !live[u] {
+			in[u] = nil
+			continue
+		}
+		box := in[u][:0]
+		for _, v := range t.adj[u] {
+			if p := out[v]; p != nil {
+				box = append(box, Message{From: v, Payload: p})
+				msgs++
+				if s, ok := p.(Sizer); ok {
+					entries += int64(s.PayloadEntries())
+				}
+			}
+		}
+		in[u] = box
+	}
+	return msgs, entries
+}

@@ -89,7 +89,13 @@ func NewPath(n int) *Tree { return graph.NewPath(n) }
 // and the weak-duality certificate.
 type Result = core.Result
 
-// DistributedResult couples a Result with measured network cost.
+// DistributedResult couples a Result with the measured network cost of
+// the message-passing execution: Net.Rounds (synchronous communication
+// rounds — the quantity bounded by Theorem 5.3), Net.Messages
+// (point-to-point deliveries), Net.Entries (payload entries delivered,
+// each O(log m + log pmax) bits), and Net.Aggregations (global OR
+// reductions; zero under Options.FixedRounds). See the internal/dist
+// package comment for the precise accounting rules.
 type DistributedResult = core.DistributedResult
 
 // Options configures a solver run (epsilon, seed, trace collection,
@@ -143,9 +149,12 @@ func SolveDistributedPanconesiSozio(p *Problem, opts Options) (*DistributedResul
 }
 
 // SolveDistributedUnit runs the unit-height algorithm as a real
-// message-passing protocol — one goroutine per processor — and reports
-// communication rounds and messages. Same selections as the centralized
-// solver for equal seeds.
+// message-passing protocol on a synchronous BSP simulation — one
+// goroutine per processor, communication only between processors sharing
+// a resource — and reports rounds, messages, payload entries and global
+// aggregations. Same selections as the centralized solver for equal
+// seeds; with Options.FixedRounds it runs the paper's deterministic
+// schedule (zero aggregations).
 func SolveDistributedUnit(p *Problem, opts Options) (*DistributedResult, error) {
 	return core.DistributedUnit(p, opts)
 }
