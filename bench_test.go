@@ -6,6 +6,7 @@
 package treesched_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -114,6 +115,98 @@ func BenchmarkSolveGreedy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := treesched.SolveGreedy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Compile-once benchmarks: the same problem solved many times through a
+// CompiledProblem vs recompiling per solve (the pre-service behavior).
+
+func BenchmarkCompiledSolveMany(b *testing.B) {
+	p := treeWorkload(7, 128, 64, true)
+	c, err := treesched.CompileProblem(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TreeUnit(treesched.Options{Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileProblem(b *testing.B) {
+	p := treeWorkload(7, 128, 64, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := treesched.CompileProblem(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Service benchmarks: one engine, three cache regimes.
+//
+//   - Cold: every request is a new problem (compiled miss + result miss).
+//   - CompiledWarm: same problem, fresh solver seed per request
+//     (compiled hit + result miss) — measures the compiled-instance
+//     cache speedup.
+//   - ResultWarm: identical request (result hit) — measures full
+//     memoization.
+
+func serviceBenchRequest(scenarioSeed int64, solverSeed uint64) *treesched.SolveRequest {
+	return &treesched.SolveRequest{
+		Algo:         "tree-unit",
+		Scenario:     "caterpillar-backbone",
+		ScenarioSeed: scenarioSeed,
+		Seed:         solverSeed,
+	}
+}
+
+func BenchmarkServiceSolveCold(b *testing.B) {
+	e := treesched.NewEngine(treesched.EngineConfig{})
+	defer e.Close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, serviceBenchRequest(int64(i)+1, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceSolveCompiledWarm(b *testing.B) {
+	e := treesched.NewEngine(treesched.EngineConfig{})
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, serviceBenchRequest(1, 0)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, serviceBenchRequest(1, uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServiceSolveResultWarm(b *testing.B) {
+	e := treesched.NewEngine(treesched.EngineConfig{})
+	defer e.Close()
+	ctx := context.Background()
+	if _, err := e.Solve(ctx, serviceBenchRequest(1, 1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Solve(ctx, serviceBenchRequest(1, 1)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	schedbench [-e all|E1|E2|...|E12] [-trials N] [-quick] [-seed S] [-o file]
+//	schedbench -service [-quick] [-o BENCH_service.json]
+//
+// The -service mode benchmarks the serving layer (internal/service)
+// instead: requests/sec for cold, compiled-cache-warm and
+// result-cache-warm solves across three scenarios.
 package main
 
 import (
@@ -18,13 +23,19 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("e", "all", "experiment id (E1..E12) or 'all'")
-		trials = flag.Int("trials", 0, "trials per table cell (0 = default)")
-		quick  = flag.Bool("quick", false, "shrink workloads for a fast pass")
-		seed   = flag.Int64("seed", 1, "base RNG seed")
-		out    = flag.String("o", "", "write output to file instead of stdout")
+		exp     = flag.String("e", "all", "experiment id (E1..E12) or 'all'")
+		trials  = flag.Int("trials", 0, "trials per table cell (0 = default)")
+		quick   = flag.Bool("quick", false, "shrink workloads for a fast pass")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		out     = flag.String("o", "", "write output to file instead of stdout")
+		service = flag.Bool("service", false, "benchmark the serving layer instead of E1-E12")
 	)
 	flag.Parse()
+
+	if *service {
+		runServiceBaseline(*out, *quick)
+		return
+	}
 
 	cfg := bench.Config{Seed: *seed, Trials: *trials, Quick: *quick}
 	runners := map[string]func(bench.Config) *bench.Table{

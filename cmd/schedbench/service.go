@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"treesched"
+)
+
+// serviceBaseline measures the serving layer's throughput in three cache
+// regimes across named scenarios and writes a JSON baseline
+// (BENCH_service.json) so future PRs have a perf trajectory to beat:
+//
+//   - cold_rps: every request is a new problem (compiled + result miss);
+//   - compiled_warm_rps: same problem, fresh solver seed (compiled hit);
+//   - result_warm_rps: identical request (full result memoization).
+type serviceBaseline struct {
+	Note       string                  `json:"note"`
+	Regenerate string                  `json:"regenerate"`
+	GoVersion  string                  `json:"go_version"`
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	Scenarios  []serviceScenarioResult `json:"scenarios"`
+}
+
+type serviceScenarioResult struct {
+	Scenario        string  `json:"scenario"`
+	Algo            string  `json:"algo"`
+	ColdRPS         float64 `json:"cold_rps"`
+	CompiledWarmRPS float64 `json:"compiled_warm_rps"`
+	ResultWarmRPS   float64 `json:"result_warm_rps"`
+	CompiledSpeedup float64 `json:"compiled_speedup"`
+	ResultSpeedup   float64 `json:"result_speedup"`
+}
+
+// benchScenarios are the three presets the baseline tracks: one line
+// workload, one tree workload, one capacitated workload.
+var benchScenarios = []string{"videowall-line", "caterpillar-backbone", "capacitated-tree"}
+
+func runServiceBaseline(out string, quick bool) {
+	cold, warm := 40, 400
+	if quick {
+		cold, warm = 5, 25
+	}
+	report := serviceBaseline{
+		Note: "requests/sec through internal/service per cache regime; " +
+			"cold = new problem per request, compiled_warm = compiled-model cache hit, " +
+			"result_warm = memoized response",
+		Regenerate: "go run ./cmd/schedbench -service -o BENCH_service.json",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	for _, name := range benchScenarios {
+		s, ok := treesched.LookupScenario(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "schedbench: unknown scenario %q\n", name)
+			os.Exit(1)
+		}
+		e := treesched.NewEngine(treesched.EngineConfig{})
+		req := func(scenSeed int64, solverSeed uint64) *treesched.SolveRequest {
+			return &treesched.SolveRequest{
+				Algo: s.DefaultAlgo, Scenario: name,
+				ScenarioSeed: scenSeed, Seed: solverSeed,
+			}
+		}
+		solve := func(r *treesched.SolveRequest) {
+			if _, err := e.Solve(ctx, r); err != nil {
+				fmt.Fprintf(os.Stderr, "schedbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		rps := func(n int, mk func(i int) *treesched.SolveRequest) float64 {
+			begin := time.Now()
+			for i := 0; i < n; i++ {
+				solve(mk(i))
+			}
+			return float64(n) / time.Since(begin).Seconds()
+		}
+
+		res := serviceScenarioResult{Scenario: name, Algo: s.DefaultAlgo}
+		// Cold uses scenario seeds ≥ 2 so no cold request collides with
+		// the warm phases below (which all use scenario seed 1) — every
+		// warm sample must exercise its own cache regime, nothing else.
+		res.ColdRPS = rps(cold, func(i int) *treesched.SolveRequest { return req(int64(i)+2, 1) })
+		solve(req(1, 0)) // ensure scenario seed 1 is compiled
+		res.CompiledWarmRPS = rps(warm, func(i int) *treesched.SolveRequest { return req(1, uint64(i)+1) })
+		res.ResultWarmRPS = rps(warm, func(i int) *treesched.SolveRequest { return req(1, 1) })
+		if res.ColdRPS > 0 {
+			res.CompiledSpeedup = res.CompiledWarmRPS / res.ColdRPS
+			res.ResultSpeedup = res.ResultWarmRPS / res.ColdRPS
+		}
+		e.Close()
+		report.Scenarios = append(report.Scenarios, res)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

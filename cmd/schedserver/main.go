@@ -1,0 +1,82 @@
+// Command schedserver serves the scheduling library over HTTP: a
+// concurrent solve engine with a compiled-instance cache, full-result
+// memoization, a scenario preset library and structured metrics.
+//
+// Usage:
+//
+//	schedserver [-addr :8080] [-workers N] [-compiled-cache 64]
+//	            [-result-cache 512] [-max-demands 20000]
+//
+// API:
+//
+//	POST /solve      {"algo":"tree-unit","problem":{...}} or
+//	                 {"algo":"line-unit","scenario":"videowall-line","scenario_seed":7}
+//	POST /batch      NDJSON stream of solve requests -> NDJSON responses
+//	GET  /scenarios  preset library + algorithm registry
+//	GET  /healthz    liveness
+//	GET  /metrics    request/cache/latency counters
+//
+// Responses are deterministic: equal requests (same problem or scenario
+// seed, algorithm and options) return byte-identical JSON, cold or
+// cached. SIGINT/SIGTERM trigger a graceful drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"treesched/internal/service"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		compiledCache = flag.Int("compiled-cache", 64, "compiled-model cache entries")
+		resultCache   = flag.Int("result-cache", 512, "memoized-result cache entries")
+		maxDemands    = flag.Int("max-demands", 20000, "reject problems with more demands")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	engine := service.New(service.Config{
+		Workers:           *workers,
+		CompiledCacheSize: *compiledCache,
+		ResultCacheSize:   *resultCache,
+		MaxDemands:        *maxDemands,
+	})
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           engine.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("schedserver: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("schedserver: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("schedserver: draining (up to %s)...", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("schedserver: shutdown: %v", err)
+	}
+	engine.Close()
+	log.Printf("schedserver: bye")
+}

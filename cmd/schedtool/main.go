@@ -4,11 +4,19 @@
 // Usage:
 //
 //	schedtool gen  -kind tree|line [-n 32] [-nets 2] [-demands 20] [-unit]
-//	               [-hmin 0.1] [-hmax 1] [-cap 0] [-seed 1] > problem.json
+//	               [-hmin 0.1] [-hmax 1] [-cap 0] [-seed 1] [-o problem.json]
+//	schedtool gen  -scenario videowall-line [-seed 1] [-o problem.json]
+//	               (named presets; see `schedtool scenarios`; explicit
+//	               -n/-nets/-demands flags override the preset sizing)
 //	schedtool solve -algo tree-unit|line-unit|arbitrary|narrow|sequential|
 //	                     exact|greedy|ps|dist-unit|dist-narrow|dist-ps
-//	               [-eps 0.25] [-seed 1] < problem.json
+//	               [-eps 0.25] [-seed 1] [-o result.json] < problem.json
 //	schedtool verify -solution sol.json < problem.json
+//	schedtool scenarios
+//
+// Exit codes: 0 success, 1 operational error, 2 usage error,
+// 3 infeasible solution (solve self-check or verify failure) — so the
+// tool composes in scripts and CI.
 package main
 
 import (
@@ -25,6 +33,10 @@ import (
 	"treesched/internal/model"
 )
 
+// exitInfeasible is the dedicated exit code for verification failures,
+// distinct from operational errors (1) and usage errors (2).
+const exitInfeasible = 3
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -38,13 +50,15 @@ func main() {
 		cmdVerify(os.Args[2:])
 	case "stats":
 		cmdStats(os.Args[2:])
+	case "scenarios":
+		cmdScenarios()
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedtool gen|solve|verify|stats [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedtool gen|solve|verify|stats|scenarios [flags]")
 	os.Exit(2)
 }
 
@@ -53,9 +67,37 @@ func die(err error) {
 	os.Exit(1)
 }
 
+func dieInfeasible(err error) {
+	fmt.Fprintln(os.Stderr, "schedtool:", err)
+	os.Exit(exitInfeasible)
+}
+
+// writeOutput writes JSON to -o's file, or stdout when path is empty.
+func writeOutput(path string, v any) {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		die(err)
+	}
+}
+
 func cmdGen(args []string) {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
 	kind := fs.String("kind", "tree", "tree or line")
+	scen := fs.String("scenario", "", "generate a named preset instead (see `schedtool scenarios`)")
 	n := fs.Int("n", 32, "vertices (tree) or timeslots (line)")
 	nets := fs.Int("nets", 2, "number of networks/resources")
 	demands := fs.Int("demands", 20, "number of demands")
@@ -65,10 +107,49 @@ func cmdGen(args []string) {
 	capac := fs.Float64("cap", 0, "edge capacity (0 = uniform 1)")
 	jitter := fs.Float64("jitter", 0, "capacity jitter")
 	seed := fs.Int64("seed", 1, "rng seed")
+	out := fs.String("o", "", "write output to file instead of stdout")
 	fs.Parse(args)
 
-	rng := rand.New(rand.NewSource(*seed))
 	var p *treesched.Problem
+	if *scen != "" {
+		s, ok := treesched.LookupScenario(*scen)
+		if !ok {
+			die(fmt.Errorf("unknown scenario %q; run `schedtool scenarios` for the list", *scen))
+		}
+		// Explicitly set sizing flags override the preset defaults; the
+		// remaining generation flags are fixed by the preset, so passing
+		// them is an error rather than a silent no-op — as is an explicit
+		// zero, which Params would otherwise read as "use the default".
+		var params treesched.ScenarioParams
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				params.Size = *n
+			case "nets":
+				params.Networks = *nets
+			case "demands":
+				params.Demands = *demands
+			case "kind", "unit", "hmin", "hmax", "cap", "jitter":
+				rejected = append(rejected, "-"+f.Name)
+			}
+			if (f.Name == "n" || f.Name == "nets" || f.Name == "demands") && f.Value.String() == "0" {
+				die(fmt.Errorf("-%s 0 is not a valid override for -scenario (omit the flag to use the preset default)", f.Name))
+			}
+		})
+		if len(rejected) > 0 {
+			die(fmt.Errorf("flags %v have no effect with -scenario (the preset fixes them); only -n/-nets/-demands/-seed apply", rejected))
+		}
+		var err error
+		p, err = s.Generate(params, *seed)
+		if err != nil {
+			die(err)
+		}
+		writeOutput(*out, p)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
 	switch *kind {
 	case "tree":
 		p = treesched.GenerateTreeProblem(treesched.TreeWorkload{
@@ -83,10 +164,14 @@ func cmdGen(args []string) {
 	default:
 		die(fmt.Errorf("unknown kind %q", *kind))
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(p); err != nil {
-		die(err)
+	writeOutput(*out, p)
+}
+
+// cmdScenarios lists the preset library.
+func cmdScenarios() {
+	for _, s := range treesched.Scenarios() {
+		fmt.Printf("%-22s %-6s algo=%-11s m=%d  %s\n",
+			s.Name, s.KindName, s.DefaultAlgo, s.Defaults.Demands, s.Doc)
 	}
 }
 
@@ -116,6 +201,7 @@ func cmdSolve(args []string) {
 	seed := fs.Uint64("seed", 1, "MIS priority seed")
 	fixed := fs.Bool("fixed", false, "fixed-rounds schedule for dist-* algorithms")
 	trace := fs.Bool("trace", false, "include the first-phase execution profile")
+	out := fs.String("o", "", "write output to file instead of stdout")
 	fs.Parse(args)
 
 	p := readProblem(os.Stdin)
@@ -166,9 +252,9 @@ func cmdSolve(args []string) {
 		die(err)
 	}
 	if err := treesched.VerifySolution(p, res.Selected); err != nil {
-		die(fmt.Errorf("solver emitted infeasible solution: %w", err))
+		dieInfeasible(fmt.Errorf("solver emitted infeasible solution: %w", err))
 	}
-	out := solveOutput{
+	sol := solveOutput{
 		Algorithm:      res.Name,
 		Profit:         res.Profit,
 		DualUpperBound: res.DualUB,
@@ -177,21 +263,17 @@ func cmdSolve(args []string) {
 		Selected:       res.Selected,
 	}
 	if net != nil {
-		out.Rounds = net.Net.Rounds
-		out.Messages = net.Net.Messages
-		out.Aggregations = net.Net.Aggregations
-		out.PayloadEntries = net.Net.Entries
+		sol.Rounds = net.Net.Rounds
+		sol.Messages = net.Net.Messages
+		sol.Aggregations = net.Net.Aggregations
+		sol.PayloadEntries = net.Net.Entries
 	}
 	if res.Trace != nil {
-		out.StepsPerStage = res.Trace.StepsPerStage
-		out.RaiseEvents = len(res.Trace.Events)
-		out.MISPhases = res.Trace.MISPhases
+		sol.StepsPerStage = res.Trace.StepsPerStage
+		sol.RaiseEvents = len(res.Trace.Events)
+		sol.MISPhases = res.Trace.MISPhases
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		die(err)
-	}
+	writeOutput(*out, sol)
 }
 
 func cmdVerify(args []string) {
@@ -211,7 +293,7 @@ func cmdVerify(args []string) {
 		die(err)
 	}
 	if err := treesched.VerifySolution(p, sol.Selected); err != nil {
-		die(err)
+		dieInfeasible(err)
 	}
 	fmt.Printf("feasible: %d demands scheduled, profit %.3f\n", len(sol.Selected), sol.Profit)
 }

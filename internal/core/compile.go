@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"treesched/internal/instance"
+	"treesched/internal/lp"
+	"treesched/internal/model"
+	"treesched/internal/treedecomp"
+)
+
+// This file makes problem compilation a separable, reusable step: a
+// Compiled holds every model.Build artifact the algorithm family may need
+// for one problem — the full model, the §6 wide/narrow split, the
+// Appendix-A sequential model and the end-slot line model — each built at
+// most once and shared by all subsequent solves (compile once, solve
+// many). The serving layer (internal/service) caches Compiled values
+// keyed on a canonical problem hash.
+//
+// All models reachable from a Compiled are immutable after construction,
+// so a single Compiled may serve concurrent solves.
+
+// solverModel couples a compiled model with its lazily built MIS routine,
+// so repeated solves skip conflict-structure construction (the explicit
+// conflict graph is the quadratic part of compilation).
+type solverModel struct {
+	m    *model.Model
+	once sync.Once
+	mis  misFunc
+}
+
+func (sm *solverModel) misFn() misFunc {
+	sm.once.Do(func() { sm.mis = newMISFunc(sm.m) })
+	return sm.mis
+}
+
+// lazyModel builds a solverModel at most once. Build errors are cached
+// too — they are deterministic properties of the problem, so retrying
+// cannot succeed.
+type lazyModel struct {
+	once sync.Once
+	sm   *solverModel
+	err  error
+}
+
+func (l *lazyModel) get(build func() (*model.Model, error)) (*solverModel, error) {
+	l.once.Do(func() {
+		m, err := build()
+		if err != nil {
+			l.err = err
+			return
+		}
+		l.sm = &solverModel{m: m}
+	})
+	return l.sm, l.err
+}
+
+// Compiled is the reusable compiled form of one problem under one tree
+// decomposition. Obtain it with Compile; every centralized and
+// distributed solver is available as a method. Methods ignore
+// Options.DecompKind — the decomposition is fixed at Compile time.
+// Every sub-model is built lazily on first use (each behind its own
+// sync.Once, so building one never blocks solvers needing another), and
+// algorithms that never touch the full model (Sequential,
+// SequentialLine) pay only for their own compilation.
+type Compiled struct {
+	p      *instance.Problem
+	decomp treedecomp.Kind
+
+	full    lazyModel // all instances, the Compile-time decomposition
+	seqTree lazyModel // Appendix A: root-fixing decomp, capture-wing π
+	seqLine lazyModel // end-slot π singleton, ∆=1
+
+	// The §6 wide/narrow split shares one classification pass, so the
+	// two sub-models initialize together.
+	splitOnce    sync.Once
+	wide, narrow *solverModel
+	splitErr     error
+}
+
+// Compile validates p and prepares it for repeated solving. decomp
+// selects the tree decomposition (zero value = KindIdeal, the paper's
+// choice); it is ignored for line problems.
+func Compile(p *instance.Problem, decomp treedecomp.Kind) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compiled{p: p, decomp: decomp}, nil
+}
+
+// Problem returns the problem this compilation is bound to.
+func (c *Compiled) Problem() *instance.Problem { return c.p }
+
+// fullModel lazily builds the full model (all instances).
+func (c *Compiled) fullModel() (*solverModel, error) {
+	return c.full.get(func() (*model.Model, error) {
+		return model.Build(c.p, model.Options{DecompKind: c.decomp})
+	})
+}
+
+// Model returns the full compiled model, building it on first use.
+func (c *Compiled) Model() (*model.Model, error) {
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	return sm.m, nil
+}
+
+// splitModels lazily builds the §6 wide/narrow sub-models. The
+// classification is demand-level: a demand is wide when any of its
+// instances has effective height > 1/2.
+func (c *Compiled) splitModels() (wide, narrow *solverModel, err error) {
+	fullSM, err := c.fullModel()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.splitOnce.Do(func() {
+		full := fullSM.m
+		wideDemand := make([]bool, len(c.p.Demands))
+		for i := range full.Insts {
+			if full.EffHeight(int32(i)) > 0.5+lp.Tol {
+				wideDemand[full.Insts[i].Demand] = true
+			}
+		}
+		wm, err := model.Build(c.p, model.Options{
+			DecompKind: c.decomp,
+			Filter:     func(d instance.Inst) bool { return wideDemand[d.Demand] },
+		})
+		if err != nil {
+			c.splitErr = err
+			return
+		}
+		nm, err := model.Build(c.p, model.Options{
+			DecompKind: c.decomp,
+			Filter:     func(d instance.Inst) bool { return !wideDemand[d.Demand] },
+		})
+		if err != nil {
+			c.splitErr = err
+			return
+		}
+		c.wide, c.narrow = &solverModel{m: wm}, &solverModel{m: nm}
+	})
+	return c.wide, c.narrow, c.splitErr
+}
+
+// sequentialModel lazily builds the Appendix-A model: root-fixing
+// decompositions and capture-wing critical sets (∆ ≤ 2).
+func (c *Compiled) sequentialModel() (*solverModel, error) {
+	return c.seqTree.get(func() (*model.Model, error) {
+		return model.Build(c.p, model.Options{
+			DecompKind:     treedecomp.KindRootFixing,
+			CaptureWingsPi: true,
+		})
+	})
+}
+
+// sequentialLineModel lazily builds the Bar-Noy/Berman–Dasgupta line
+// model: critical sets replaced by the end-slot singleton, ∆ = 1. The
+// rewrite happens once here so the shared model is never mutated by a
+// solve.
+func (c *Compiled) sequentialLineModel() (*solverModel, error) {
+	return c.seqLine.get(func() (*model.Model, error) {
+		m, err := model.Build(c.p, model.Options{})
+		if err != nil {
+			return nil, err
+		}
+		for i := range m.Insts {
+			m.Pi[i] = []int32{c.p.GlobalEdge(int(m.Insts[i].Net), m.Insts[i].V)}
+		}
+		m.Delta = 1
+		return m, nil
+	})
+}
+
+// effHMin returns the minimum effective height over a model's instances,
+// erroring when any exceeds 1/2 (the narrow-instance precondition of
+// Lemma 6.2). context names the caller for the error message.
+func effHMin(m *model.Model, context string) (float64, error) {
+	hmin := 1.0
+	for i := range m.Insts {
+		eff := m.EffHeight(int32(i))
+		if eff > 0.5+lp.Tol {
+			return 0, fmt.Errorf("core: %s: instance %d has effective height %g > 1/2", context, i, eff)
+		}
+		if eff < hmin {
+			hmin = eff
+		}
+	}
+	return hmin, nil
+}

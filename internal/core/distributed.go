@@ -33,14 +33,26 @@ type DistributedResult struct {
 // neighbors, and a distributed reverse-stack second phase. With the same
 // seed it selects exactly what TreeUnit/LineUnit select.
 func DistributedUnit(p *instance.Problem, opts Options) (*DistributedResult, error) {
-	opts = opts.withDefaults()
-	if !p.UnitHeight() {
-		return nil, fmt.Errorf("core: DistributedUnit requires unit heights")
-	}
-	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
+	return c.DistributedUnit(opts)
+}
+
+// DistributedUnit is the compiled-model form of the package-level
+// DistributedUnit.
+func (c *Compiled) DistributedUnit(opts Options) (*DistributedResult, error) {
+	opts = opts.withDefaults()
+	p := c.p
+	if !p.UnitHeight() {
+		return nil, fmt.Errorf("core: DistributedUnit requires unit heights")
+	}
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
 	name := "tree-unit"
 	if p.Kind == instance.KindLine {
@@ -60,7 +72,18 @@ func DistributedUnit(p *instance.Problem, opts Options) (*DistributedResult, err
 // [15,16] as a message-passing protocol — historically the setting those
 // papers targeted. Unit heights, line networks only.
 func DistributedPanconesiSozio(p *instance.Problem, opts Options) (*DistributedResult, error) {
+	c, err := Compile(p, opts.DecompKind)
+	if err != nil {
+		return nil, err
+	}
+	return c.DistributedPanconesiSozio(opts)
+}
+
+// DistributedPanconesiSozio is the compiled-model form of the
+// package-level DistributedPanconesiSozio.
+func (c *Compiled) DistributedPanconesiSozio(opts Options) (*DistributedResult, error) {
 	opts = opts.withDefaults()
+	p := c.p
 	if p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: DistributedPanconesiSozio is a line-network baseline (got %v)", p.Kind)
 	}
@@ -70,10 +93,11 @@ func DistributedPanconesiSozio(p *instance.Problem, opts Options) (*DistributedR
 	if opts.FixedRounds {
 		return nil, fmt.Errorf("core: FixedRounds requires a multi-stage schedule")
 	}
-	m, err := model.Build(p, model.Options{})
+	sm, err := c.fullModel()
 	if err != nil {
 		return nil, err
 	}
+	m := sm.m
 	lambda := 1 / (5 + opts.Epsilon)
 	sched := NewSingleStageSchedule(m, lambda)
 	cfg := &distProtocol{
@@ -89,30 +113,35 @@ func DistributedPanconesiSozio(p *instance.Problem, opts Options) (*DistributedR
 // DistributedNarrow runs the §6.1 narrow-instance algorithm as a
 // message-passing protocol; all demands must have effective height ≤ 1/2.
 func DistributedNarrow(p *instance.Problem, opts Options) (*DistributedResult, error) {
-	opts = opts.withDefaults()
-	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
-	hmin := 1.0
-	for i := range m.Insts {
-		eff := m.EffHeight(int32(i))
-		if eff > 0.5+lp.Tol {
-			return nil, fmt.Errorf("core: DistributedNarrow: instance %d has effective height %g > 1/2", i, eff)
-		}
-		if eff < hmin {
-			hmin = eff
-		}
+	return c.DistributedNarrow(opts)
+}
+
+// DistributedNarrow is the compiled-model form of the package-level
+// DistributedNarrow.
+func (c *Compiled) DistributedNarrow(opts Options) (*DistributedResult, error) {
+	opts = opts.withDefaults()
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
+	hmin, err := effHMin(m, "DistributedNarrow")
+	if err != nil {
+		return nil, err
 	}
 	sched := NewSchedule(m, NarrowXi(m.Delta, hmin), opts.Epsilon)
 	cfg := &distProtocol{
 		name:  "narrow",
-		rule:  narrowRule(p),
+		rule:  narrowRule(c.p),
 		sched: sched,
 		opts:  opts,
 		bound: float64(2*m.Delta*m.Delta+1) / sched.Lambda,
 	}
-	return cfg.run(p, m)
+	return cfg.run(c.p, m)
 }
 
 // assembleDistributed merges per-node state into a Result: global duals are
@@ -139,7 +168,7 @@ func assembleDistributed(name string, m *model.Model, rule lp.Rule, sched Schedu
 	}
 	if len(m.Insts) > 0 {
 		if err := lp.VerifyLambdaSatisfied(rule, m, duals, sched.Lambda); err != nil {
-			return nil, fmt.Errorf("core: %s (distributed): %w", name, err)
+			return nil, fmt.Errorf("core: %s (distributed): %w: %v", name, ErrCertificate, err)
 		}
 	}
 	res := &Result{Name: name + "-distributed", Lambda: sched.Lambda, Bound: bound, Model: m}

@@ -6,7 +6,6 @@ import (
 
 	"treesched/internal/instance"
 	"treesched/internal/lp"
-	"treesched/internal/model"
 )
 
 // ErrExactTooLarge is returned when branch and bound exceeds its node
@@ -18,10 +17,20 @@ var ErrExactTooLarge = fmt.Errorf("core: exact solver exceeded its node budget")
 // §1 — so this cannot scale). maxNodes caps the search-tree size; 0 means
 // 50 million.
 func Exact(p *instance.Problem, maxNodes int64) (*Result, error) {
-	m, err := model.Build(p, model.Options{})
+	c, err := Compile(p, 0)
 	if err != nil {
 		return nil, err
 	}
+	return c.Exact(maxNodes)
+}
+
+// Exact is the compiled-model form of the package-level Exact.
+func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	if maxNodes == 0 {
 		maxNodes = 50_000_000
 	}
@@ -114,10 +123,20 @@ func Exact(p *instance.Problem, maxNodes int64) (*Result, error) {
 // Greedy is the naive baseline: instances by descending profit, added when
 // they fit. No approximation guarantee; used for experiment context.
 func Greedy(p *instance.Problem) (*Result, error) {
-	m, err := model.Build(p, model.Options{})
+	c, err := Compile(p, 0)
 	if err != nil {
 		return nil, err
 	}
+	return c.Greedy()
+}
+
+// Greedy is the compiled-model form of the package-level Greedy.
+func (c *Compiled) Greedy() (*Result, error) {
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	n := len(m.Insts)
 	order := make([]int32, n)
 	for i := range order {

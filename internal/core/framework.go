@@ -176,24 +176,40 @@ type StackEntry struct {
 // sets (see mis.LubyFuncImplicit).
 const implicitThreshold = 768
 
+// misFunc computes a maximal independent set of the active instances
+// under the given priority function, returning the set and the number of
+// Luby phases used.
+type misFunc func(active []bool, prio func(int32, int) float64) ([]int32, int)
+
+// newMISFunc builds the MIS routine for m, choosing the explicit or
+// implicit conflict representation by instance count. Building the
+// conflict structure is the expensive part; Compiled caches the returned
+// closure so repeated solves pay it once.
+func newMISFunc(m *model.Model) misFunc {
+	if len(m.Insts) > implicitThreshold {
+		im := conflict.BuildImplicit(m)
+		return func(active []bool, prio func(int32, int) float64) ([]int32, int) {
+			return mis.LubyFuncImplicit(im, active, prio)
+		}
+	}
+	cg := conflict.Build(m)
+	return func(active []bool, prio func(int32, int) float64) ([]int32, int) {
+		return mis.LubyFunc(cg.Adj, active, prio)
+	}
+}
+
 // Phase1 runs the first phase (§3.2/§5) centrally: per epoch and stage,
 // repeatedly find a maximal independent set of the still-unsatisfied group
 // members (via deterministic-priority Luby, seeded), raise them tight, and
 // push the set. It returns the dual assignment and the stack.
 func Phase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
+	return phase1(m, newMISFunc(m), rule, sched, seed, trace)
+}
+
+// phase1 is Phase1 with the MIS routine supplied by the caller (cached in
+// a solverModel, or freshly built).
+func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
 	duals := lp.NewDuals(m)
-	var misFn func(active []bool, prio func(int32, int) float64) ([]int32, int)
-	if len(m.Insts) > implicitThreshold {
-		im := conflict.BuildImplicit(m)
-		misFn = func(active []bool, prio func(int32, int) float64) ([]int32, int) {
-			return mis.LubyFuncImplicit(im, active, prio)
-		}
-	} else {
-		cg := conflict.Build(m)
-		misFn = func(active []bool, prio func(int32, int) float64) ([]int32, int) {
-			return mis.LubyFunc(cg.Adj, active, prio)
-		}
-	}
 	n := len(m.Insts)
 	active := make([]bool, n)
 	var stack []StackEntry

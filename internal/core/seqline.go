@@ -6,7 +6,6 @@ import (
 
 	"treesched/internal/instance"
 	"treesched/internal/lp"
-	"treesched/internal/model"
 )
 
 // SequentialLine runs the classical sequential 2-approximation for
@@ -20,22 +19,30 @@ import (
 // property with ∆ = 1, and λ = 1 as every constraint is made tight. By
 // Lemma 3.1 the ratio is (∆+1)/λ = 2, matching [4,5].
 func SequentialLine(p *instance.Problem, opts Options) (*Result, error) {
+	c, err := Compile(p, opts.DecompKind)
+	if err != nil {
+		return nil, err
+	}
+	return c.SequentialLine(opts)
+}
+
+// SequentialLine is the compiled-model form of the package-level
+// SequentialLine. The end-slot critical sets (π(d) = {end(d)}, ∆ = 1) are
+// materialized once in the Compiled's dedicated line model.
+func (c *Compiled) SequentialLine(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	p := c.p
 	if p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: SequentialLine on %v problem", p.Kind)
 	}
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: SequentialLine requires unit heights")
 	}
-	m, err := model.Build(p, model.Options{})
+	sm, err := c.sequentialLineModel()
 	if err != nil {
 		return nil, err
 	}
-	// Replace the layered critical sets with the end-slot singleton.
-	for i := range m.Insts {
-		m.Pi[i] = []int32{p.GlobalEdge(int(m.Insts[i].Net), m.Insts[i].V)}
-	}
-	m.Delta = 1
+	m := sm.m
 
 	order := make([]int32, len(m.Insts))
 	for i := range order {
@@ -71,7 +78,7 @@ func SequentialLine(p *instance.Problem, opts Options) (*Result, error) {
 		stack = append(stack, StackEntry{Epoch: 1, Stage: 1, Step: step, Set: []int32{i}})
 	}
 	if err := lp.VerifyLambdaSatisfied(rule, m, duals, 1.0); err != nil {
-		return nil, fmt.Errorf("core: sequential-line: λ=1 certificate failed: %w", err)
+		return nil, fmt.Errorf("core: sequential-line (λ=1): %w: %v", ErrCertificate, err)
 	}
 	sel := Phase2(m, stack)
 	res := &Result{Name: "sequential-line", Lambda: 1, Bound: 2, Trace: trace, Model: m}

@@ -6,8 +6,6 @@ import (
 
 	"treesched/internal/instance"
 	"treesched/internal/lp"
-	"treesched/internal/model"
-	"treesched/internal/treedecomp"
 )
 
 // Sequential runs the Appendix-A sequential algorithm for the unit-height
@@ -17,20 +15,30 @@ import (
 // 3 (Lemma 3.1 with ∆=2, λ=1), improving to 2 when there is a single
 // tree-network (the α variables are dropped, matching Lewin-Eytan et al.).
 func Sequential(p *instance.Problem, opts Options) (*Result, error) {
+	c, err := Compile(p, opts.DecompKind)
+	if err != nil {
+		return nil, err
+	}
+	return c.Sequential(opts)
+}
+
+// Sequential is the compiled-model form of the package-level Sequential.
+// It uses the Compiled's lazily built Appendix-A model (root-fixing
+// decomposition, capture-wing critical sets), not the full model.
+func (c *Compiled) Sequential(opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	p := c.p
 	if p.Kind != instance.KindTree {
 		return nil, fmt.Errorf("core: Sequential on %v problem", p.Kind)
 	}
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: Sequential requires unit heights")
 	}
-	m, err := model.Build(p, model.Options{
-		DecompKind:     treedecomp.KindRootFixing,
-		CaptureWingsPi: true,
-	})
+	sm, err := c.sequentialModel()
 	if err != nil {
 		return nil, err
 	}
+	m := sm.m
 
 	var rule lp.Rule = lp.Unit{}
 	bound := 3.0
@@ -84,7 +92,7 @@ func Sequential(p *instance.Problem, opts Options) (*Result, error) {
 		})
 	}
 	if err := lp.VerifyLambdaSatisfied(rule, m, duals, 1.0); err != nil {
-		return nil, fmt.Errorf("core: sequential: λ=1 certificate failed: %w", err)
+		return nil, fmt.Errorf("core: sequential (λ=1): %w: %v", ErrCertificate, err)
 	}
 	sel := Phase2(m, stack)
 	res := &Result{

@@ -67,20 +67,28 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ErrCertificate tags slackness-certificate failures: the dual
+// assignment produced by a run did not λ-satisfy every instance. This is
+// an internal invariant violation (a solver bug), never a property of
+// the input — callers serving requests should map it to a server-side
+// error, not a client error.
+var ErrCertificate = fmt.Errorf("slackness certificate failed")
+
 // runPhases executes phase 1 + verification + phase 2 on a compiled model
 // and assembles a Result.
-func runPhases(name string, m *model.Model, rule lp.Rule, sched Schedule, opts Options, bound float64) (*Result, error) {
+func runPhases(name string, sm *solverModel, rule lp.Rule, sched Schedule, opts Options, bound float64) (*Result, error) {
+	m := sm.m
 	var trace *Trace
 	if opts.CollectTrace {
 		trace = &Trace{}
 	}
-	duals, stack, err := Phase1(m, rule, sched, opts.Seed, trace)
+	duals, stack, err := phase1(m, sm.misFn(), rule, sched, opts.Seed, trace)
 	if err != nil {
 		return nil, err
 	}
 	if len(m.Insts) > 0 {
 		if err := lp.VerifyLambdaSatisfied(rule, m, duals, sched.Lambda); err != nil {
-			return nil, fmt.Errorf("core: %s: slackness certificate failed: %w", name, err)
+			return nil, fmt.Errorf("core: %s: %w: %v", name, ErrCertificate, err)
 		}
 	}
 	sel := Phase2(m, stack)
@@ -108,40 +116,60 @@ func runPhases(name string, m *model.Model, rule lp.Rule, sched Schedule, opts O
 // schedule (λ = 1−ε). This entry point uses the fast centralized driver;
 // see DistributedRun for the goroutine message-passing driver.
 func TreeUnit(p *instance.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if p.Kind != instance.KindTree {
-		return nil, fmt.Errorf("core: TreeUnit on %v problem", p.Kind)
-	}
-	if !p.UnitHeight() {
-		return nil, fmt.Errorf("core: TreeUnit requires unit heights; use TreeArbitrary")
-	}
-	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
+	return c.TreeUnit(opts)
+}
+
+// TreeUnit is the compiled-model form of the package-level TreeUnit.
+func (c *Compiled) TreeUnit(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if c.p.Kind != instance.KindTree {
+		return nil, fmt.Errorf("core: TreeUnit on %v problem", c.p.Kind)
+	}
+	if !c.p.UnitHeight() {
+		return nil, fmt.Errorf("core: TreeUnit requires unit heights; use TreeArbitrary")
+	}
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
 	bound := float64(m.Delta+1) / sched.Lambda
-	return runPhases("tree-unit", m, lp.Unit{}, sched, opts, bound)
+	return runPhases("tree-unit", sm, lp.Unit{}, sched, opts, bound)
 }
 
 // LineUnit runs the improved unit-height line-network algorithm with
 // windows (§7, Theorem 7.1): ∆=3 length-doubling layers, λ = 1−ε, bound
 // 4+ε (vs Panconesi–Sozio's 20+ε).
 func LineUnit(p *instance.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if p.Kind != instance.KindLine {
-		return nil, fmt.Errorf("core: LineUnit on %v problem", p.Kind)
-	}
-	if !p.UnitHeight() {
-		return nil, fmt.Errorf("core: LineUnit requires unit heights; use LineArbitrary")
-	}
-	m, err := model.Build(p, model.Options{})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
+	return c.LineUnit(opts)
+}
+
+// LineUnit is the compiled-model form of the package-level LineUnit.
+func (c *Compiled) LineUnit(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if c.p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("core: LineUnit on %v problem", c.p.Kind)
+	}
+	if !c.p.UnitHeight() {
+		return nil, fmt.Errorf("core: LineUnit requires unit heights; use LineArbitrary")
+	}
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
 	bound := float64(m.Delta+1) / sched.Lambda
-	return runPhases("line-unit", m, lp.Unit{}, sched, opts, bound)
+	return runPhases("line-unit", sm, lp.Unit{}, sched, opts, bound)
 }
 
 // narrowRule selects the capacity-aware rule when the problem declares
@@ -157,24 +185,28 @@ func narrowRule(p *instance.Problem) lp.Rule {
 // problem whose demands all have effective height ≤ 1/2. The guarantee is
 // (2∆²+1)/(1−ε): 73+ε on trees, 19+ε on lines.
 func NarrowOnly(p *instance.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	m, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
-	hmin := 1.0
-	for i := range m.Insts {
-		eff := m.EffHeight(int32(i))
-		if eff > 0.5+lp.Tol {
-			return nil, fmt.Errorf("core: NarrowOnly: instance %d has effective height %g > 1/2", i, eff)
-		}
-		if eff < hmin {
-			hmin = eff
-		}
+	return c.NarrowOnly(opts)
+}
+
+// NarrowOnly is the compiled-model form of the package-level NarrowOnly.
+func (c *Compiled) NarrowOnly(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
+	hmin, err := effHMin(m, "NarrowOnly")
+	if err != nil {
+		return nil, err
 	}
 	sched := NewSchedule(m, NarrowXi(m.Delta, hmin), opts.Epsilon)
 	bound := float64(2*m.Delta*m.Delta+1) / sched.Lambda
-	return runPhases("narrow", m, narrowRule(p), sched, opts, bound)
+	return runPhases("narrow", sm, narrowRule(c.p), sched, opts, bound)
 }
 
 // Arbitrary runs the combined arbitrary-height algorithm (§6, Theorem 6.3
@@ -184,72 +216,52 @@ func NarrowOnly(p *instance.Problem, opts Options) (*Result, error) {
 // profitable of the two sub-solutions is kept. Bounds: 80+ε (trees),
 // 23+ε (lines).
 func Arbitrary(p *instance.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	// Demand-level classification keeps every demand entirely in one
-	// class, which the combining step relies on (§6 "Overall Algorithm").
-	wideDemand, err := classifyWide(p, opts)
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
+	return c.Arbitrary(opts)
+}
 
-	wideModel, err := model.Build(p, model.Options{
-		DecompKind: opts.DecompKind,
-		Filter:     func(d instance.Inst) bool { return wideDemand[d.Demand] },
-	})
-	if err != nil {
-		return nil, err
-	}
-	narrowModel, err := model.Build(p, model.Options{
-		DecompKind: opts.DecompKind,
-		Filter:     func(d instance.Inst) bool { return !wideDemand[d.Demand] },
-	})
+// Arbitrary is the compiled-model form of the package-level Arbitrary.
+// The demand-level wide/narrow classification keeps every demand entirely
+// in one class, which the combining step relies on (§6 "Overall
+// Algorithm"); the two sub-models are built once per Compiled.
+func (c *Compiled) Arbitrary(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	wideModel, narrowModel, err := c.splitModels()
 	if err != nil {
 		return nil, err
 	}
 
 	var parts []*Result
-	if len(wideModel.Insts) > 0 {
-		sched := NewSchedule(wideModel, UnitXi(wideModel.Delta), opts.Epsilon)
+	if len(wideModel.m.Insts) > 0 {
+		m := wideModel.m
+		sched := NewSchedule(m, UnitXi(m.Delta), opts.Epsilon)
 		r, err := runPhases("wide", wideModel, lp.Unit{}, sched, opts,
-			float64(wideModel.Delta+1)/sched.Lambda)
+			float64(m.Delta+1)/sched.Lambda)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, r)
 	}
-	if len(narrowModel.Insts) > 0 {
+	if len(narrowModel.m.Insts) > 0 {
+		m := narrowModel.m
 		hmin := 1.0
-		for i := range narrowModel.Insts {
-			if eff := narrowModel.EffHeight(int32(i)); eff < hmin {
+		for i := range m.Insts {
+			if eff := m.EffHeight(int32(i)); eff < hmin {
 				hmin = eff
 			}
 		}
-		sched := NewSchedule(narrowModel, NarrowXi(narrowModel.Delta, hmin), opts.Epsilon)
-		r, err := runPhases("narrow", narrowModel, narrowRule(p), sched, opts,
-			float64(2*narrowModel.Delta*narrowModel.Delta+1)/sched.Lambda)
+		sched := NewSchedule(m, NarrowXi(m.Delta, hmin), opts.Epsilon)
+		r, err := runPhases("narrow", narrowModel, narrowRule(c.p), sched, opts,
+			float64(2*m.Delta*m.Delta+1)/sched.Lambda)
 		if err != nil {
 			return nil, err
 		}
 		parts = append(parts, r)
 	}
-	return combinePerNetwork(p, "arbitrary", parts)
-}
-
-// classifyWide returns, per demand, whether any of its instances has
-// effective height > 1/2. With uniform capacities this is simply
-// h(a) > 1/2 as in §6.
-func classifyWide(p *instance.Problem, opts Options) ([]bool, error) {
-	full, err := model.Build(p, model.Options{DecompKind: opts.DecompKind})
-	if err != nil {
-		return nil, err
-	}
-	wide := make([]bool, len(p.Demands))
-	for i := range full.Insts {
-		if full.EffHeight(int32(i)) > 0.5+lp.Tol {
-			wide[full.Insts[i].Demand] = true
-		}
-	}
-	return wide, nil
+	return combinePerNetwork(c.p, "arbitrary", parts)
 }
 
 // combinePerNetwork merges sub-results by keeping, for every network, the
@@ -316,19 +328,30 @@ func combinePerNetwork(p *instance.Problem, name string, parts []*Result) (*Resu
 // [16] is not reproduced: the supplied text does not specify its raise
 // rule (see DESIGN.md).
 func PanconesiSozioUnit(p *instance.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
-	if p.Kind != instance.KindLine {
-		return nil, fmt.Errorf("core: PanconesiSozioUnit is a line-network baseline (got %v)", p.Kind)
-	}
-	if !p.UnitHeight() {
-		return nil, fmt.Errorf("core: PanconesiSozioUnit requires unit heights")
-	}
-	m, err := model.Build(p, model.Options{})
+	c, err := Compile(p, opts.DecompKind)
 	if err != nil {
 		return nil, err
 	}
+	return c.PanconesiSozioUnit(opts)
+}
+
+// PanconesiSozioUnit is the compiled-model form of the package-level
+// PanconesiSozioUnit.
+func (c *Compiled) PanconesiSozioUnit(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if c.p.Kind != instance.KindLine {
+		return nil, fmt.Errorf("core: PanconesiSozioUnit is a line-network baseline (got %v)", c.p.Kind)
+	}
+	if !c.p.UnitHeight() {
+		return nil, fmt.Errorf("core: PanconesiSozioUnit requires unit heights")
+	}
+	sm, err := c.fullModel()
+	if err != nil {
+		return nil, err
+	}
+	m := sm.m
 	lambda := 1 / (5 + opts.Epsilon)
 	sched := NewSingleStageSchedule(m, lambda)
 	bound := float64(m.Delta+1) / lambda
-	return runPhases("panconesi-sozio-unit", m, lp.Unit{}, sched, opts, bound)
+	return runPhases("panconesi-sozio-unit", sm, lp.Unit{}, sched, opts, bound)
 }

@@ -1,0 +1,287 @@
+// Package scenario is a library of named, parameterized workload presets
+// for the serving layer, the CLI and the benchmarks. Each preset maps a
+// real-world-flavoured workload onto the paper's problem classes
+// (Chakaravarthy–Roy–Sabharwal, arXiv:1205.1924) and names the paper
+// section or experiment (see DESIGN.md's E1–E12 index) it exercises.
+//
+// Presets are deterministic: Generate(params, seed) returns the same
+// problem for the same inputs, so the serving layer's cache keys and the
+// byte-identical-response guarantee extend to scenario requests.
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"treesched/internal/gen"
+	"treesched/internal/instance"
+)
+
+// Params overrides a preset's default sizing. Zero fields keep the
+// preset's defaults, so Params{} always generates the canonical workload.
+type Params struct {
+	// Demands is the number of demands/processors m.
+	Demands int `json:"demands,omitempty"`
+	// Size is the vertex count per tree or the timeline length in slots.
+	Size int `json:"size,omitempty"`
+	// Networks is the number of tree networks or line resources r.
+	Networks int `json:"networks,omitempty"`
+}
+
+func (p Params) withDefaults(d Params) Params {
+	if p.Demands == 0 {
+		p.Demands = d.Demands
+	}
+	if p.Size == 0 {
+		p.Size = d.Size
+	}
+	if p.Networks == 0 {
+		p.Networks = d.Networks
+	}
+	return p
+}
+
+// Sizing floors and ceilings every generator requires: below the floors
+// the gen package loops or panics (e.g. drawing distinct endpoints on a
+// 1-vertex tree); the ceilings keep a single request from exhausting
+// memory. Validation lives here so every caller — service, CLI,
+// benchmarks — is protected.
+const (
+	MinSize     = 4
+	MaxSize     = 1 << 16
+	MaxNetworks = 1024
+	MaxDemands  = 1_000_000
+)
+
+// Validate checks resolved (post-Effective) params against the
+// generator limits.
+func (p Params) Validate() error {
+	if p.Demands < 1 || p.Demands > MaxDemands {
+		return fmt.Errorf("scenario: demands %d outside [1,%d]", p.Demands, MaxDemands)
+	}
+	if p.Size < MinSize || p.Size > MaxSize {
+		return fmt.Errorf("scenario: size %d outside [%d,%d]", p.Size, MinSize, MaxSize)
+	}
+	if p.Networks < 1 || p.Networks > MaxNetworks {
+		return fmt.Errorf("scenario: networks %d outside [1,%d]", p.Networks, MaxNetworks)
+	}
+	return nil
+}
+
+// Scenario is one named preset.
+type Scenario struct {
+	// Name is the stable identifier used by the service API and the CLI.
+	Name string `json:"name"`
+	// Doc is a one-sentence description tying the workload to a paper
+	// section or experiment.
+	Doc string `json:"doc"`
+	// Kind is the problem class the preset generates.
+	Kind instance.Kind `json:"-"`
+	// KindName is Kind as a string, for JSON listings.
+	KindName string `json:"kind"`
+	// DefaultAlgo is the algorithm name (service registry / schedtool
+	// -algo) best matched to the workload.
+	DefaultAlgo string `json:"default_algo"`
+	// Defaults is the canonical sizing.
+	Defaults Params `json:"defaults"`
+
+	generate func(p Params, rng *rand.Rand) *instance.Problem
+}
+
+// Effective resolves params against the preset defaults: the exact
+// sizing Generate will use.
+func (s *Scenario) Effective(params Params) Params {
+	return params.withDefaults(s.Defaults)
+}
+
+// Generate draws the preset's workload. Zero fields of params keep the
+// preset defaults; equal (params, seed) pairs yield identical problems.
+// Params outside the generator limits (see Params.Validate) error.
+func (s *Scenario) Generate(params Params, seed int64) (*instance.Problem, error) {
+	eff := s.Effective(params)
+	if err := eff.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	return s.generate(eff, rand.New(rand.NewSource(seed))), nil
+}
+
+var registry = map[string]*Scenario{}
+
+func register(s *Scenario) {
+	s.KindName = s.Kind.String()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate name %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Get looks a preset up by name.
+func Get(name string) (*Scenario, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all preset names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all presets in name order.
+func All() []*Scenario {
+	var out []*Scenario
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+func init() {
+	register(&Scenario{
+		Name: "videowall-line",
+		Doc: "Video-wall playout slots: unit-height jobs with release/deadline windows on shared " +
+			"display timelines — the §7 line-network setting of Theorem 7.1 (experiment E5).",
+		Kind:        instance.KindLine,
+		DefaultAlgo: "line-unit",
+		Defaults:    Params{Demands: 60, Size: 48, Networks: 3},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.LineProblem(gen.LineConfig{
+				Slots: p.Size, Resources: p.Networks, Demands: p.Demands,
+				Unit: true, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "telecom-leasing",
+		Doc: "Bandwidth leasing on a telecom line (cf. Even–Medina–Rosén packet scheduling): " +
+			"fractional-height connections on links with non-uniform leased capacity — the title scope, experiment E10.",
+		Kind:        instance.KindLine,
+		DefaultAlgo: "arbitrary",
+		Defaults:    Params{Demands: 50, Size: 40, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.LineProblem(gen.LineConfig{
+				Slots: p.Size, Resources: p.Networks, Demands: p.Demands,
+				HMin: 0.1, HMax: 1.0, Capacity: 1.5, CapJitter: 0.4,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "sensor-tree",
+		Doc: "Sensor-network aggregation: short, locally-biased routes with mixed bandwidth " +
+			"demands on a random routing tree — the §6 arbitrary-height tree setting (experiment E4).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "arbitrary",
+		Defaults:    Params{Demands: 48, Size: 40, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				HMin: 0.1, HMax: 1.0, LocalBias: 4, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "spider-hub",
+		Doc: "Adversarial hub congestion: every demand crosses a spider's hub edge and profits " +
+			"spread geometrically, forcing the kill chains of Lemma 5.1 — the E1 worst-case stressor.",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "tree-unit",
+		Defaults:    Params{Demands: 40, Size: 33, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			legs := 4
+			legLen := (p.Size - 1) / legs
+			if legLen < 1 {
+				legLen = 1
+			}
+			return gen.AdversarialHub(legs, legLen, p.Networks, p.Demands, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "caterpillar-backbone",
+		Doc: "Backbone-with-drops topology: unit-height connections on caterpillar trees, the " +
+			"shape family of the decomposition study (Lemmas 4.1/4.3, experiment E7).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "tree-unit",
+		Defaults:    Params{Demands: 50, Size: 36, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Shape: gen.ShapeCaterpillar, Unit: true, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "star-uplink",
+		Doc: "Star uplink contention: all routes collide at the hub of star networks, the maximal-" +
+			"conflict decomposition shape of experiment E7 (§2's processors sharing one switch).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "tree-unit",
+		Defaults:    Params{Demands: 40, Size: 24, Networks: 3},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Shape: gen.ShapeStar, Unit: true, AccessProb: 0.5,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "narrow-stream",
+		Doc: "Thin media streams: every demand needs at most half an edge's bandwidth, the " +
+			"narrow-instance class of §6.1 (Lemma 6.2, experiment E3).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "narrow",
+		Defaults:    Params{Demands: 48, Size: 32, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				HMin: 0.05, HMax: 0.5, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "capacitated-tree",
+		Doc: "Heterogeneous access network: tree links with jittered non-uniform capacities and " +
+			"mixed demand heights — the non-uniform-bandwidth title scope on trees (experiment E10).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "arbitrary",
+		Defaults:    Params{Demands: 44, Size: 32, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				HMin: 0.1, HMax: 1.0, Capacity: 1.6, CapJitter: 0.5, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "profit-ladder",
+		Doc: "Auction-style profit spread: profits span three orders of magnitude so stage step " +
+			"counts approach the 1+log₂(pmax/pmin) bound of Lemma 5.1 (experiment E8).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "tree-unit",
+		Defaults:    Params{Demands: 48, Size: 32, Networks: 2},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Unit: true, PMin: 1, PMax: 1000, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "binary-fanout",
+		Doc: "Datacenter-style binary distribution trees across several parallel networks — the " +
+			"round-scaling workload of Theorem 5.3's complexity claim (experiment E2).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "dist-unit",
+		Defaults:    Params{Demands: 40, Size: 31, Networks: 3},
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Shape: gen.ShapeBinary, Unit: true, AccessProb: 0.5,
+			}, rng)
+		},
+	})
+}

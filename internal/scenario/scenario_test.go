@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPresetsGenerateValidProblems: every preset must generate a
+// structurally valid problem for several seeds, at default and
+// overridden sizes.
+func TestPresetsGenerateValidProblems(t *testing.T) {
+	if len(All()) < 8 {
+		t.Fatalf("scenario library has %d presets, want >= 8", len(All()))
+	}
+	for _, s := range All() {
+		for seed := int64(1); seed <= 3; seed++ {
+			p, err := s.Generate(Params{}, seed)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", s.Name, seed, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s seed %d: invalid problem: %v", s.Name, seed, err)
+			}
+			if p.Kind != s.Kind {
+				t.Errorf("%s: generated kind %v, declared %v", s.Name, p.Kind, s.Kind)
+			}
+			if len(p.Demands) == 0 {
+				t.Errorf("%s seed %d: no demands", s.Name, seed)
+			}
+		}
+		// Overridden sizing must hold too.
+		small, err := s.Generate(Params{Demands: 10, Size: 16, Networks: 2}, 1)
+		if err != nil {
+			t.Fatalf("%s (overridden): %v", s.Name, err)
+		}
+		if err := small.Validate(); err != nil {
+			t.Errorf("%s (overridden): invalid problem: %v", s.Name, err)
+		}
+		if len(small.Demands) != 10 {
+			t.Errorf("%s: override asked 10 demands, got %d", s.Name, len(small.Demands))
+		}
+		// Degenerate sizes must error, not loop or panic.
+		for _, bad := range []Params{{Size: 1}, {Size: -5}, {Networks: -1}, {Demands: -2}} {
+			if _, err := s.Generate(bad, 1); err == nil {
+				t.Errorf("%s: accepted degenerate params %+v", s.Name, bad)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic: equal (params, seed) must yield identical
+// problems — the serving layer's cache keys depend on it.
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func(t *testing.T, s *Scenario, seed int64) []byte {
+		p, err := s.Generate(Params{}, seed)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", s.Name, seed, err)
+		}
+		data, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	for _, s := range All() {
+		a := gen(t, s, 42)
+		b := gen(t, s, 42)
+		if string(a) != string(b) {
+			t.Errorf("%s: same seed produced different problems", s.Name)
+		}
+		c := gen(t, s, 43)
+		if string(a) == string(c) {
+			t.Errorf("%s: different seeds produced identical problems", s.Name)
+		}
+	}
+}
+
+// TestRegistryLookup pins the public lookup helpers.
+func TestRegistryLookup(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names()=%d entries, All()=%d", len(names), len(All()))
+	}
+	for _, n := range names {
+		s, ok := Get(n)
+		if !ok || s.Name != n {
+			t.Errorf("Get(%q) = %v, %v", n, s, ok)
+		}
+		if s.Doc == "" || s.DefaultAlgo == "" {
+			t.Errorf("%s: missing doc or default algorithm", n)
+		}
+	}
+	if _, ok := Get("no-such-preset"); ok {
+		t.Error("Get accepted an unknown name")
+	}
+}

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"treesched/internal/scenario"
+)
+
+// Handler returns the engine's HTTP API:
+//
+//	POST /solve      one Request JSON -> one Response JSON
+//	POST /batch      NDJSON stream of Requests -> NDJSON stream of
+//	                 Responses in input order (solved concurrently);
+//	                 per-line failures become {"error": "..."} lines
+//	GET  /scenarios  the preset library with docs and defaults
+//	GET  /healthz    liveness
+//	GET  /metrics    MetricsSnapshot JSON
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", e.handleSolve)
+	mux.HandleFunc("POST /batch", e.handleBatch)
+	mux.HandleFunc("GET /scenarios", e.handleScenarios)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	return mux
+}
+
+// maxRequestBytes bounds one /solve body or one /batch line.
+const maxRequestBytes = 32 << 20
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v) // nolint:errcheck — the client is gone if this fails
+}
+
+func errStatus(err error) int {
+	if errors.Is(err, ErrBadRequest) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func (e *Engine) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	resp, err := e.Solve(r.Context(), &req)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch streams NDJSON: each input line is one Request, each
+// output line the matching Response (or an error object) in input
+// order. Lines are solved concurrently through the engine's worker
+// pool; the bounded future queue applies back-pressure to the reader so
+// an unbounded stream does not accumulate in memory.
+func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	futures := make(chan chan []byte, 2*e.cfg.Workers)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		flusher, _ := w.(http.Flusher)
+		for fut := range futures {
+			w.Write(<-fut) // nolint:errcheck — keep draining on client loss
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	encodeLine := func(v any) []byte {
+		data, err := json.Marshal(v)
+		if err != nil {
+			data, _ = json.Marshal(errorBody{Error: err.Error()})
+		}
+		return data
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxRequestBytes)
+	for sc.Scan() {
+		line := make([]byte, len(sc.Bytes()))
+		copy(line, sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		fut := make(chan []byte, 1)
+		futures <- fut // back-pressure: at most 2×Workers lines in flight
+		go func() {
+			var req Request
+			if err := json.Unmarshal(line, &req); err != nil {
+				fut <- encodeLine(errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+				return
+			}
+			resp, err := e.Solve(r.Context(), &req)
+			if err != nil {
+				fut <- encodeLine(errorBody{Error: err.Error()})
+				return
+			}
+			fut <- encodeLine(resp)
+		}()
+	}
+	close(futures)
+	<-done
+	if err := sc.Err(); err != nil {
+		// The stream is already partially written; append a final error
+		// line rather than a status code.
+		w.Write(encodeLine(errorBody{Error: fmt.Sprintf("read stream: %v", err)})) // nolint:errcheck
+		w.Write([]byte("\n"))                                                      // nolint:errcheck
+	}
+}
+
+// scenarioListing is the /scenarios payload.
+type scenarioListing struct {
+	Scenarios  []*scenario.Scenario `json:"scenarios"`
+	Algorithms []string             `json:"algorithms"`
+}
+
+func (e *Engine) handleScenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scenarioListing{
+		Scenarios:  scenario.All(),
+		Algorithms: Algorithms(),
+	})
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(e.Uptime().Seconds()),
+	})
+}
+
+func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, e.Metrics())
+}

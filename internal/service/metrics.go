@@ -1,0 +1,89 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates per-request counters. All fields are safe for
+// concurrent update; Snapshot returns a consistent-enough copy for the
+// /metrics endpoint (counters are monotone, so slight skew between
+// fields is acceptable).
+type metrics struct {
+	requests       atomic.Int64
+	errors         atomic.Int64
+	resultHits     atomic.Int64
+	resultMisses   atomic.Int64
+	compiledHits   atomic.Int64
+	compiledMisses atomic.Int64
+	solveNanos     atomic.Int64 // total wall time spent in actual solves
+	inFlight       atomic.Int64
+
+	mu     sync.Mutex
+	byAlgo map[string]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{byAlgo: make(map[string]int64)}
+}
+
+func (m *metrics) countAlgo(name string) {
+	m.mu.Lock()
+	m.byAlgo[name]++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is the exported point-in-time view of the engine's
+// counters, serialized by GET /metrics.
+type MetricsSnapshot struct {
+	Requests       int64 `json:"requests"`
+	Errors         int64 `json:"errors"`
+	ResultHits     int64 `json:"result_cache_hits"`
+	ResultMisses   int64 `json:"result_cache_misses"`
+	CompiledHits   int64 `json:"compiled_cache_hits"`
+	CompiledMisses int64 `json:"compiled_cache_misses"`
+	InFlight       int64 `json:"in_flight"`
+	// SolveNanos is total wall time spent executing solvers (cache hits
+	// contribute nothing), so requests/sec and mean solve latency are
+	// both derivable.
+	SolveNanos int64 `json:"solve_nanos_total"`
+	// MeanSolveMillis is SolveNanos averaged over result-cache misses.
+	MeanSolveMillis float64 `json:"mean_solve_millis"`
+	// CompiledEntries/ResultEntries are current cache occupancies.
+	CompiledEntries int `json:"compiled_cache_entries"`
+	ResultEntries   int `json:"result_cache_entries"`
+	// ByAlgo counts requests per algorithm name.
+	ByAlgo map[string]int64 `json:"requests_by_algo"`
+	// AlgoNames is ByAlgo's key set in sorted order, for deterministic
+	// iteration by clients.
+	AlgoNames []string `json:"algo_names"`
+}
+
+func (m *metrics) snapshot(compiledEntries, resultEntries int) MetricsSnapshot {
+	s := MetricsSnapshot{
+		Requests:        m.requests.Load(),
+		Errors:          m.errors.Load(),
+		ResultHits:      m.resultHits.Load(),
+		ResultMisses:    m.resultMisses.Load(),
+		CompiledHits:    m.compiledHits.Load(),
+		CompiledMisses:  m.compiledMisses.Load(),
+		InFlight:        m.inFlight.Load(),
+		SolveNanos:      m.solveNanos.Load(),
+		CompiledEntries: compiledEntries,
+		ResultEntries:   resultEntries,
+		ByAlgo:          make(map[string]int64),
+	}
+	if s.ResultMisses > 0 {
+		s.MeanSolveMillis = float64(s.SolveNanos) / float64(s.ResultMisses) / float64(time.Millisecond)
+	}
+	m.mu.Lock()
+	for k, v := range m.byAlgo {
+		s.ByAlgo[k] = v
+		s.AlgoNames = append(s.AlgoNames, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(s.AlgoNames)
+	return s
+}

@@ -1,0 +1,444 @@
+// Package service is the concurrent scheduling service: a bounded worker
+// pool executing every solver the library exposes, an LRU cache of
+// compiled problem models (internal/core.Compiled — paths, π(d), layer
+// groups, conflict structures built once and reused), a memoization
+// cache of full results for identical (problem, algorithm, options)
+// requests, and structured per-request metrics.
+//
+// Determinism is preserved end to end: responses contain only solver
+// output (never latency or cache state), problems hash canonically, and
+// equal requests produce byte-identical JSON — whether served cold, from
+// the compiled cache, or from the result cache. cmd/schedserver exposes
+// the engine over HTTP (see http.go).
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"treesched/internal/core"
+	"treesched/internal/instance"
+	"treesched/internal/scenario"
+	"treesched/internal/verify"
+)
+
+// ErrBadRequest tags request-side failures (unknown algorithm, invalid
+// problem, solver preconditions like non-unit heights). The HTTP layer
+// maps it to 400; everything else is 500.
+var ErrBadRequest = errors.New("service: bad request")
+
+// ErrClosed is returned by Solve after Close.
+var ErrClosed = errors.New("service: engine closed")
+
+// Config sizes an Engine. Zero fields take the listed defaults.
+type Config struct {
+	// Workers bounds concurrently executing solves (default GOMAXPROCS).
+	Workers int
+	// CompiledCacheSize is the max number of compiled problem models kept
+	// (default 64).
+	CompiledCacheSize int
+	// ResultCacheSize is the max number of memoized responses (default 512).
+	ResultCacheSize int
+	// MaxDemands rejects problems with more demands (default 20000).
+	MaxDemands int
+	// MaxExactNodes caps the branch-and-bound budget of "exact" requests
+	// (default 2e6) so a single request cannot monopolize a worker.
+	MaxExactNodes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CompiledCacheSize <= 0 {
+		c.CompiledCacheSize = 64
+	}
+	if c.ResultCacheSize <= 0 {
+		c.ResultCacheSize = 512
+	}
+	if c.MaxDemands <= 0 {
+		c.MaxDemands = 20000
+	}
+	if c.MaxExactNodes <= 0 {
+		c.MaxExactNodes = 2_000_000
+	}
+	return c
+}
+
+// Request is one solve job. Exactly one of Problem or Scenario must be
+// set: Problem supplies a full instance inline, Scenario names a preset
+// of internal/scenario generated deterministically from ScenarioSeed and
+// ScenarioParams.
+type Request struct {
+	// Algo names the algorithm; see Algorithms() for the registry.
+	Algo string `json:"algo"`
+
+	Problem *instance.Problem `json:"problem,omitempty"`
+
+	Scenario       string          `json:"scenario,omitempty"`
+	ScenarioSeed   int64           `json:"scenario_seed,omitempty"`
+	ScenarioParams scenario.Params `json:"scenario_params,omitzero"`
+
+	// Epsilon is the ε of the (c+ε) guarantees (default 0.25).
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Seed drives the deterministic Luby priorities.
+	Seed uint64 `json:"seed,omitempty"`
+	// FixedRounds selects the paper's deterministic schedule on dist-*
+	// algorithms.
+	FixedRounds bool `json:"fixed_rounds,omitempty"`
+	// MaxNodes caps the "exact" branch and bound (0 = engine default).
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+}
+
+// Response is the deterministic solver output for a request. It carries
+// no latency or cache-state fields on purpose: equal requests must
+// marshal byte-identically regardless of how they were served. Cached
+// responses are shared — treat as immutable.
+type Response struct {
+	Algorithm      string  `json:"algorithm"`
+	Scenario       string  `json:"scenario,omitempty"`
+	Profit         float64 `json:"profit"`
+	DualUpperBound float64 `json:"dual_upper_bound,omitempty"`
+	CertifiedRatio float64 `json:"certified_ratio,omitempty"`
+	Bound          float64 `json:"bound,omitempty"`
+	Lambda         float64 `json:"lambda,omitempty"`
+	Demands        int     `json:"demands"`
+	Scheduled      int     `json:"scheduled"`
+
+	Selected []instance.Inst `json:"selected"`
+
+	// Distributed-driver network cost (dist-* algorithms only).
+	Rounds         int   `json:"rounds,omitempty"`
+	Messages       int64 `json:"messages,omitempty"`
+	Aggregations   int   `json:"aggregations,omitempty"`
+	PayloadEntries int64 `json:"payload_entries,omitempty"`
+}
+
+// solveFunc adapts one algorithm entry point to the compiled-model form.
+type solveFunc func(c *core.Compiled, opts core.Options, maxNodes int64) (*core.Result, *core.DistributedResult, error)
+
+func central(f func(c *core.Compiled, opts core.Options) (*core.Result, error)) solveFunc {
+	return func(c *core.Compiled, opts core.Options, _ int64) (*core.Result, *core.DistributedResult, error) {
+		r, err := f(c, opts)
+		return r, nil, err
+	}
+}
+
+func distributed(f func(c *core.Compiled, opts core.Options) (*core.DistributedResult, error)) solveFunc {
+	return func(c *core.Compiled, opts core.Options, _ int64) (*core.Result, *core.DistributedResult, error) {
+		dr, err := f(c, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return dr.Result, dr, nil
+	}
+}
+
+// algorithms is the dispatch registry: every Solve* entry point of the
+// public API by its schedtool/service name.
+var algorithms = map[string]solveFunc{
+	"tree-unit":  central((*core.Compiled).TreeUnit),
+	"line-unit":  central((*core.Compiled).LineUnit),
+	"narrow":     central((*core.Compiled).NarrowOnly),
+	"arbitrary":  central((*core.Compiled).Arbitrary),
+	"sequential": central((*core.Compiled).Sequential),
+	"seq-line":   central((*core.Compiled).SequentialLine),
+	"greedy": func(c *core.Compiled, _ core.Options, _ int64) (*core.Result, *core.DistributedResult, error) {
+		r, err := c.Greedy()
+		return r, nil, err
+	},
+	"exact": func(c *core.Compiled, _ core.Options, maxNodes int64) (*core.Result, *core.DistributedResult, error) {
+		r, err := c.Exact(maxNodes)
+		return r, nil, err
+	},
+	"ps":          central((*core.Compiled).PanconesiSozioUnit),
+	"dist-unit":   distributed((*core.Compiled).DistributedUnit),
+	"dist-narrow": distributed((*core.Compiled).DistributedNarrow),
+	"dist-ps":     distributed((*core.Compiled).DistributedPanconesiSozio),
+}
+
+// Algorithms returns the registered algorithm names, sorted.
+func Algorithms() []string {
+	out := make([]string, 0, len(algorithms))
+	for n := range algorithms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine is the concurrent solve engine. Safe for concurrent use.
+type Engine struct {
+	cfg      Config
+	sem      chan struct{} // bounded worker pool
+	compiled *lru[*core.Compiled]
+	results  *lru[*Response]
+	met      *metrics
+	start    time.Time
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New builds an Engine from cfg (zero value = all defaults).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		compiled: newLRU[*core.Compiled](cfg.CompiledCacheSize),
+		results:  newLRU[*Response](cfg.ResultCacheSize),
+		met:      newMetrics(),
+		start:    time.Now(),
+	}
+}
+
+// Close marks the engine closed and waits for in-flight solves to drain.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Engine) enter() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	e.wg.Add(1)
+	return nil
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	return e.met.snapshot(e.compiled.len(), e.results.len())
+}
+
+// Uptime reports time since New.
+func (e *Engine) Uptime() time.Duration { return time.Since(e.start) }
+
+// problemSource resolves the request's problem into a canonical cache
+// key and a lazy materializer. Inline problems hash their JSON wire
+// form; scenario requests key on (name, effective params, seed) — their
+// generators are deterministic — so cache hits skip generation and
+// hashing entirely.
+func (e *Engine) problemSource(req *Request) (hash string, materialize func() (*instance.Problem, error), err error) {
+	switch {
+	case req.Problem != nil && req.Scenario != "":
+		return "", nil, fmt.Errorf("%w: set either problem or scenario, not both", ErrBadRequest)
+	case req.Problem != nil:
+		p := req.Problem
+		if len(p.Demands) > e.cfg.MaxDemands {
+			return "", nil, fmt.Errorf("%w: %d demands exceeds the limit %d", ErrBadRequest, len(p.Demands), e.cfg.MaxDemands)
+		}
+		hash, err = hashProblem(p)
+		if err != nil {
+			return "", nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		return hash, func() (*instance.Problem, error) { return p, nil }, nil
+	case req.Scenario != "":
+		s, ok := scenario.Get(req.Scenario)
+		if !ok {
+			return "", nil, fmt.Errorf("%w: unknown scenario %q (see GET /scenarios)", ErrBadRequest, req.Scenario)
+		}
+		eff := s.Effective(req.ScenarioParams)
+		if eff.Demands > e.cfg.MaxDemands {
+			return "", nil, fmt.Errorf("%w: %d demands exceeds the limit %d", ErrBadRequest, eff.Demands, e.cfg.MaxDemands)
+		}
+		// Generator limits are validated eagerly so degenerate sizes are
+		// rejected before a cache key is formed or a worker slot consumed.
+		if err := eff.Validate(); err != nil {
+			return "", nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		hash = fmt.Sprintf("scenario:%s|m=%d|n=%d|r=%d|seed=%d",
+			s.Name, eff.Demands, eff.Size, eff.Networks, req.ScenarioSeed)
+		seed := req.ScenarioSeed
+		return hash, func() (*instance.Problem, error) { return s.Generate(eff, seed) }, nil
+	default:
+		return "", nil, fmt.Errorf("%w: a problem or a scenario is required", ErrBadRequest)
+	}
+}
+
+// hashProblem returns the canonical problem hash: SHA-256 over the
+// deterministic JSON wire form (trees as edge lists, demands in order).
+func hashProblem(p *instance.Problem) (string, error) {
+	data, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// keyOptions normalizes request options for the memoization key so
+// semantically identical requests share one cache entry: the epsilon
+// default is applied; epsilon/seed are dropped for the deterministic
+// single-pass algorithms that ignore them (greedy, exact, sequential,
+// seq-line — keep this list in sync with the registry above);
+// FixedRounds is dropped for centralized algorithms; and the node
+// budget only keys "exact".
+func keyOptions(algo string, opts core.Options, maxNodes int64) (core.Options, int64) {
+	if opts.Epsilon == 0 {
+		opts.Epsilon = 0.25
+	}
+	switch algo {
+	case "greedy", "exact", "sequential", "seq-line":
+		opts = core.Options{}
+	}
+	if !strings.HasPrefix(algo, "dist-") {
+		opts.FixedRounds = false
+	}
+	if algo != "exact" {
+		maxNodes = 0
+	}
+	return opts, maxNodes
+}
+
+// resultKey keys the memoization cache on everything that can change a
+// response.
+func resultKey(problemHash, algo string, opts core.Options, maxNodes int64) string {
+	return fmt.Sprintf("%s|%s|eps=%g|seed=%d|fixed=%t|nodes=%d",
+		problemHash, algo, opts.Epsilon, opts.Seed, opts.FixedRounds, maxNodes)
+}
+
+// Solve validates, dispatches and executes one request through the
+// worker pool, consulting the result cache first and the compiled-model
+// cache second. The returned Response is shared with the cache — treat
+// as immutable.
+func (e *Engine) Solve(ctx context.Context, req *Request) (*Response, error) {
+	if err := e.enter(); err != nil {
+		return nil, err
+	}
+	defer e.wg.Done()
+	e.met.requests.Add(1)
+	resp, err := e.solve(ctx, req)
+	if err != nil {
+		e.met.errors.Add(1)
+	}
+	return resp, err
+}
+
+func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err error) {
+	// Core signals violated preconditions it cannot express as errors by
+	// panicking (e.g. NewSchedule on an out-of-range epsilon). A panic
+	// must fail the one request, never the process — /batch executes
+	// solves on bare goroutines where net/http's per-request recover
+	// cannot help.
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("service: panic during %q solve: %v", req.Algo, r)
+		}
+	}()
+
+	run, ok := algorithms[req.Algo]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown algorithm %q (known: %v)", ErrBadRequest, req.Algo, Algorithms())
+	}
+	e.met.countAlgo(req.Algo)
+	if req.Epsilon < 0 || req.Epsilon >= 1 {
+		return nil, fmt.Errorf("%w: epsilon %g outside [0,1) (0 = default 0.25)", ErrBadRequest, req.Epsilon)
+	}
+
+	hash, materialize, err := e.problemSource(req)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{Epsilon: req.Epsilon, Seed: req.Seed, FixedRounds: req.FixedRounds}
+	maxNodes := req.MaxNodes
+	if maxNodes <= 0 || maxNodes > e.cfg.MaxExactNodes {
+		maxNodes = e.cfg.MaxExactNodes
+	}
+
+	kOpts, kNodes := keyOptions(req.Algo, opts, maxNodes)
+	key := resultKey(hash, req.Algo, kOpts, kNodes)
+	if resp, ok := e.results.get(key); ok {
+		e.met.resultHits.Add(1)
+		return resp, nil
+	}
+	e.met.resultMisses.Add(1)
+
+	// Bounded worker pool: block for a slot, honoring cancellation.
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-e.sem }()
+	e.met.inFlight.Add(1)
+	defer e.met.inFlight.Add(-1)
+
+	// Compiled-model reuse: one compilation serves every algorithm and
+	// every (epsilon, seed) on the same problem. Concurrent first
+	// requests for the same problem may compile twice; both results are
+	// identical and the cache keeps one.
+	c, ok := e.compiled.get(hash)
+	if ok {
+		e.met.compiledHits.Add(1)
+	} else {
+		e.met.compiledMisses.Add(1)
+		p, err := materialize()
+		if err != nil {
+			return nil, err
+		}
+		c, err = core.Compile(p, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		e.compiled.add(hash, c)
+	}
+
+	begin := time.Now()
+	res, dres, err := run(c, opts, maxNodes)
+	e.met.solveNanos.Add(time.Since(begin).Nanoseconds())
+	if err != nil {
+		// Precondition failures (wrong problem kind, non-unit heights,
+		// non-narrow instances) are the client's fault; a failed
+		// slackness certificate is a solver bug and an exhausted exact
+		// budget is a server-imposed limit — both stay server-side.
+		if errors.Is(err, core.ErrCertificate) || errors.Is(err, core.ErrExactTooLarge) {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	// Safety gate: never serve an infeasible selection. A failure here is
+	// a solver bug, not a client error.
+	if err := verify.Solution(c.Problem(), res.Selected); err != nil {
+		return nil, fmt.Errorf("service: solver emitted infeasible solution: %w", err)
+	}
+
+	resp = &Response{
+		Algorithm:      res.Name,
+		Scenario:       req.Scenario,
+		Profit:         res.Profit,
+		DualUpperBound: res.DualUB,
+		CertifiedRatio: res.CertifiedRatio,
+		Bound:          res.Bound,
+		Lambda:         res.Lambda,
+		Demands:        len(c.Problem().Demands),
+		Scheduled:      len(res.Selected),
+		Selected:       res.Selected,
+	}
+	if resp.Selected == nil {
+		resp.Selected = []instance.Inst{}
+	}
+	if dres != nil {
+		resp.Rounds = dres.Net.Rounds
+		resp.Messages = dres.Net.Messages
+		resp.Aggregations = dres.Net.Aggregations
+		resp.PayloadEntries = dres.Net.Entries
+	}
+	e.results.add(key, resp)
+	return resp, nil
+}

@@ -45,6 +45,24 @@
 //	    },
 //	}
 //	res, err := treesched.SolveTreeUnit(p, treesched.Options{Epsilon: 0.25})
+//
+// To solve one problem many times (different algorithms, seeds or
+// epsilons), compile it once and reuse the compiled form:
+//
+//	c, _ := treesched.CompileProblem(p)
+//	r1, _ := c.TreeUnit(treesched.Options{Seed: 1})
+//	r2, _ := c.TreeUnit(treesched.Options{Seed: 2})
+//
+// Serving: cmd/schedserver exposes the library as a concurrent HTTP
+// service with a scenario library and a compiled-instance cache
+// (NewEngine is the embeddable form). For example:
+//
+//	go run ./cmd/schedserver -addr :8080 &
+//	curl -s localhost:8080/scenarios
+//	curl -s -X POST localhost:8080/solve \
+//	    -d '{"algo":"line-unit","scenario":"videowall-line","scenario_seed":7}'
+//
+// Equal requests return byte-identical JSON, cold or cached.
 package treesched
 
 import (
@@ -54,6 +72,8 @@ import (
 	"treesched/internal/gen"
 	"treesched/internal/graph"
 	"treesched/internal/instance"
+	"treesched/internal/scenario"
+	"treesched/internal/service"
 	"treesched/internal/verify"
 )
 
@@ -179,3 +199,47 @@ func GenerateTreeProblem(cfg TreeWorkload, rng *rand.Rand) *Problem { return gen
 
 // GenerateLineProblem draws a random line-network problem.
 func GenerateLineProblem(cfg LineWorkload, rng *rand.Rand) *Problem { return gen.LineProblem(cfg, rng) }
+
+// CompiledProblem is the reusable compiled form of one problem: paths,
+// critical sets π(d), layer groups and conflict structures built once,
+// with every solver available as a method (compile once, solve many).
+type CompiledProblem = core.Compiled
+
+// CompileProblem validates and compiles p for repeated solving.
+func CompileProblem(p *Problem) (*CompiledProblem, error) { return core.Compile(p, 0) }
+
+// Engine is the concurrent scheduling service: a bounded worker pool, a
+// compiled-instance LRU cache keyed on a canonical problem hash, full
+// result memoization, and structured metrics. cmd/schedserver serves it
+// over HTTP; Engine.Handler returns the same API for embedding.
+type Engine = service.Engine
+
+// EngineConfig sizes an Engine (zero value = defaults).
+type EngineConfig = service.Config
+
+// SolveRequest is one service solve job (inline problem or named
+// scenario).
+type SolveRequest = service.Request
+
+// SolveResponse is the deterministic solver output for a SolveRequest.
+type SolveResponse = service.Response
+
+// NewEngine builds a scheduling service engine.
+func NewEngine(cfg EngineConfig) *Engine { return service.New(cfg) }
+
+// Algorithms lists the service's algorithm registry: every Solve* entry
+// point of this package by name.
+func Algorithms() []string { return service.Algorithms() }
+
+// Scenario is a named, parameterized workload preset tied to a paper
+// section or experiment (see internal/scenario).
+type Scenario = scenario.Scenario
+
+// ScenarioParams overrides a preset's default sizing.
+type ScenarioParams = scenario.Params
+
+// Scenarios returns the preset library in name order.
+func Scenarios() []*Scenario { return scenario.All() }
+
+// LookupScenario finds a preset by name.
+func LookupScenario(name string) (*Scenario, bool) { return scenario.Get(name) }
