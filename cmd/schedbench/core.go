@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treesched/internal/bench"
+)
+
+// runCoreBaseline is the `-core` mode: measure the solver cold path per
+// scenario×algo (see internal/bench.CoreBench) and either write the
+// BENCH_core.json report or, with -check, compare against a checked-in
+// baseline and exit non-zero on a cold-path regression (>25% on the
+// hardware-independent allocs/solve, or a catastrophic wall-clock blowup
+// — see bench.CheckCore).
+func runCoreBaseline(out, check string, quick bool) {
+	report, err := bench.CoreBench(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+
+	if check != "" {
+		raw, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		var baseline bench.CoreReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: parsing %s: %v\n", check, err)
+			os.Exit(1)
+		}
+		if err := bench.CheckCore(report, &baseline, 0.25); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedbench: cold path within bounds of %s across %d pairs\n",
+			check, len(report.Entries))
+		return
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

@@ -6,10 +6,15 @@
 //
 //	schedbench [-e all|E1|E2|...|E12] [-trials N] [-quick] [-seed S] [-o file]
 //	schedbench -service [-quick] [-o BENCH_service.json]
+//	schedbench -core [-quick] [-o BENCH_core.json | -check BENCH_core.json]
 //
 // The -service mode benchmarks the serving layer (internal/service)
 // instead: requests/sec for cold, compiled-cache-warm and
-// result-cache-warm solves across three scenarios.
+// result-cache-warm solves across three scenarios. The -core mode
+// benchmarks the solver itself — ns/solve and allocs/solve per
+// scenario×algorithm, cold (fresh compile) and warm (compiled reuse) —
+// and with -check fails on a >25% cold-path regression against the
+// checked-in baseline.
 package main
 
 import (
@@ -29,11 +34,17 @@ func main() {
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		out     = flag.String("o", "", "write output to file instead of stdout")
 		service = flag.Bool("service", false, "benchmark the serving layer instead of E1-E12")
+		coreRun = flag.Bool("core", false, "benchmark the solver cold path instead of E1-E12")
+		check   = flag.String("check", "", "with -core: compare against a BENCH_core.json baseline and fail on regression")
 	)
 	flag.Parse()
 
 	if *service {
 		runServiceBaseline(*out, *quick)
+		return
+	}
+	if *coreRun {
+		runCoreBaseline(*out, *check, *quick)
 		return
 	}
 

@@ -1,0 +1,242 @@
+package bench
+
+// The cold-path benchmark behind `schedbench -core`: BENCH_service.json
+// tracks the serving layer per cache regime, this harness tracks the
+// solver itself — ns/solve and allocs/solve per scenario×algorithm pair,
+// cold (fresh compilation per solve, the regime a service facing millions
+// of distinct problems lives in) and warm (compiled model reused, the
+// pooled-scratch steady state). The checked-in BENCH_core.json anchors
+// the perf trajectory; CheckCore guards it in CI.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"treesched/internal/core"
+	"treesched/internal/scenario"
+)
+
+// CorePair is one tracked (scenario, algorithm) combination.
+type CorePair struct {
+	Scenario string
+	Algo     string
+}
+
+// CorePairs lists the tracked combinations: the two acceptance workloads
+// of the CSR/incremental refactor (videowall-line/line-unit,
+// capacitated-tree/arbitrary) plus one plain tree run, one narrow run and
+// one distributed run for breadth.
+var CorePairs = []CorePair{
+	{"videowall-line", "line-unit"},
+	{"caterpillar-backbone", "tree-unit"},
+	{"narrow-stream", "narrow"},
+	{"capacitated-tree", "arbitrary"},
+	{"binary-fanout", "dist-unit"},
+}
+
+// preRefactorColdNs is the cold ns/solve of each tracked pair measured
+// with this exact harness immediately before the CSR + incremental-Phase1
+// refactor (commit 19ef5e0, the PR 2 solver; best of two runs, GOMAXPROCS=1).
+// It is the fixed anchor the speedup columns are computed against; do not
+// remeasure it.
+var preRefactorColdNs = map[string]float64{
+	"videowall-line/line-unit":       1712860,
+	"caterpillar-backbone/tree-unit": 169652,
+	"narrow-stream/narrow":           433288,
+	"capacitated-tree/arbitrary":     503787,
+	"binary-fanout/dist-unit":        2793619,
+}
+
+// CoreEntry is the measured cost of one pair.
+type CoreEntry struct {
+	Scenario string `json:"scenario"`
+	Algo     string `json:"algo"`
+	// Cold: core.Compile + solve per iteration — every request is a new
+	// problem, nothing reused.
+	ColdNsPerSolve     float64 `json:"cold_ns_per_solve"`
+	ColdAllocsPerSolve float64 `json:"cold_allocs_per_solve"`
+	// Warm: one Compiled reused across iterations — compilation and
+	// conflict structures cached, solver scratch pooled.
+	WarmNsPerSolve     float64 `json:"warm_ns_per_solve"`
+	WarmAllocsPerSolve float64 `json:"warm_allocs_per_solve"`
+	// SpeedupVsPreRefactor is preRefactorColdNs / ColdNsPerSolve (0 when
+	// the pair has no recorded anchor).
+	SpeedupVsPreRefactor float64 `json:"speedup_vs_pre_refactor,omitempty"`
+}
+
+// Key returns the "scenario/algo" identifier used by the anchor map and
+// the regression checker.
+func (e *CoreEntry) Key() string { return e.Scenario + "/" + e.Algo }
+
+// CoreReport is the BENCH_core.json document.
+type CoreReport struct {
+	Note              string             `json:"note"`
+	Regenerate        string             `json:"regenerate"`
+	GoVersion         string             `json:"go_version"`
+	GOMAXPROCS        int                `json:"gomaxprocs"`
+	PreRefactorColdNs map[string]float64 `json:"pre_refactor_cold_ns_per_solve,omitempty"`
+	Entries           []CoreEntry        `json:"entries"`
+}
+
+// coreSolve dispatches one solve on a compiled problem. It mirrors the
+// service registry for the tracked algorithms only; options are fixed so
+// every measurement exercises the identical deterministic run.
+func coreSolve(c *core.Compiled, algo string) error {
+	opts := core.Options{Seed: 1}
+	var err error
+	switch algo {
+	case "tree-unit":
+		_, err = c.TreeUnit(opts)
+	case "line-unit":
+		_, err = c.LineUnit(opts)
+	case "narrow":
+		_, err = c.NarrowOnly(opts)
+	case "arbitrary":
+		_, err = c.Arbitrary(opts)
+	case "dist-unit":
+		_, err = c.DistributedUnit(opts)
+	default:
+		err = fmt.Errorf("bench: untracked core algo %q", algo)
+	}
+	return err
+}
+
+// measure runs fn repeatedly until targetDur of work is observed (after
+// one calibration call) and returns ns/iteration and allocs/iteration.
+func measure(targetDur time.Duration, fn func() error) (nsPerOp, allocsPerOp float64, err error) {
+	// Calibration pass — also warms lazily-built state out of warm
+	// measurements and pages code in for cold ones.
+	begin := time.Now()
+	if err := fn(); err != nil {
+		return 0, 0, err
+	}
+	once := time.Since(begin)
+	iters := 1
+	if once < targetDur {
+		iters = int(targetDur/once) + 1
+	}
+	if iters > 20000 {
+		iters = 20000
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	begin = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(begin)
+	runtime.ReadMemStats(&after)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(iters)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	return nsPerOp, allocsPerOp, nil
+}
+
+// CoreBench measures every tracked pair and assembles the report. Quick
+// shrinks the per-measurement time budget (CI smoke); the checked-in
+// baseline should be regenerated without it.
+func CoreBench(quick bool) (*CoreReport, error) {
+	target := 400 * time.Millisecond
+	if quick {
+		target = 60 * time.Millisecond
+	}
+	report := &CoreReport{
+		Note: "solver cold path: ns/solve and allocs/solve per scenario×algo; " +
+			"cold = fresh core.Compile per solve, warm = one Compiled reused " +
+			"(cached conflict structures + pooled scratch); speedups are " +
+			"against the fixed pre-refactor anchor",
+		Regenerate:        "go run ./cmd/schedbench -core -o BENCH_core.json",
+		GoVersion:         runtime.Version(),
+		GOMAXPROCS:        runtime.GOMAXPROCS(0),
+		PreRefactorColdNs: preRefactorColdNs,
+	}
+	for _, pair := range CorePairs {
+		s, ok := scenario.Get(pair.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown scenario %q", pair.Scenario)
+		}
+		p, err := s.Generate(scenario.Params{}, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %v", pair.Scenario, err)
+		}
+		entry := CoreEntry{Scenario: pair.Scenario, Algo: pair.Algo}
+
+		entry.ColdNsPerSolve, entry.ColdAllocsPerSolve, err = measure(target, func() error {
+			c, err := core.Compile(p, 0)
+			if err != nil {
+				return err
+			}
+			return coreSolve(c, pair.Algo)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s cold: %v", pair.Scenario, pair.Algo, err)
+		}
+
+		warmC, err := core.Compile(p, 0)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %v", pair.Scenario, err)
+		}
+		entry.WarmNsPerSolve, entry.WarmAllocsPerSolve, err = measure(target, func() error {
+			return coreSolve(warmC, pair.Algo)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s warm: %v", pair.Scenario, pair.Algo, err)
+		}
+
+		if anchor := preRefactorColdNs[entry.Key()]; anchor > 0 && entry.ColdNsPerSolve > 0 {
+			entry.SpeedupVsPreRefactor = anchor / entry.ColdNsPerSolve
+		}
+		report.Entries = append(report.Entries, entry)
+	}
+	return report, nil
+}
+
+// nsCatastropheFactor is the wall-clock backstop multiplier of
+// CheckCore: ns/solve is only compared loosely because the baseline was
+// recorded on different hardware than the checker runs on (a CI runner
+// 30% slower than the baseline machine is not a code regression).
+// Allocation counts are hardware-independent, so they carry the strict
+// gate.
+const nsCatastropheFactor = 4.0
+
+// CheckCore compares a fresh measurement against the checked-in baseline
+// and errors when any pair's cold path regressed: allocs/solve above
+// (1+tolerance)× the recorded value (e.g. 0.25 = fail above 1.25×), or
+// ns/solve beyond the catastrophic nsCatastropheFactor backstop. Pairs
+// present in only one report are ignored so the tracked set can evolve.
+func CheckCore(current, baseline *CoreReport, tolerance float64) error {
+	base := make(map[string]*CoreEntry, len(baseline.Entries))
+	for i := range baseline.Entries {
+		base[baseline.Entries[i].Key()] = &baseline.Entries[i]
+	}
+	var failures []string
+	for i := range current.Entries {
+		e := &current.Entries[i]
+		want := base[e.Key()]
+		if want == nil {
+			continue
+		}
+		if want.ColdAllocsPerSolve > 0 && e.ColdAllocsPerSolve > want.ColdAllocsPerSolve*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: cold %.0f allocs/solve vs baseline %.0f (%.2fx > allowed %.2fx)",
+				e.Key(), e.ColdAllocsPerSolve, want.ColdAllocsPerSolve,
+				e.ColdAllocsPerSolve/want.ColdAllocsPerSolve, 1+tolerance))
+		}
+		if want.ColdNsPerSolve > 0 && e.ColdNsPerSolve > want.ColdNsPerSolve*nsCatastropheFactor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: cold %.0f ns/solve vs baseline %.0f (%.2fx > catastrophic %gx backstop)",
+				e.Key(), e.ColdNsPerSolve, want.ColdNsPerSolve,
+				e.ColdNsPerSolve/want.ColdNsPerSolve, nsCatastropheFactor))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench: cold-path regression against BENCH_core.json:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -22,65 +22,66 @@ type Graph struct {
 	Adj [][]int32
 }
 
-// Implicit is a clique cover of the conflict graph: the members of each
-// demand form a clique, and the instances active on each edge form a
-// clique. Every conflict edge is covered by at least one clique.
+// Implicit is a clique cover of the conflict graph stored in CSR form:
+// the members of each demand form a clique, and the instances active on
+// each edge form a clique. Every conflict edge is covered by at least one
+// clique.
 type Implicit struct {
 	N int
-	// DemandCliques[k] and EdgeCliques[k] list instance indices; cliques
-	// of size < 2 are omitted.
-	DemandCliques [][]int32
-	EdgeCliques   [][]int32
-	// CliquesOf[i] lists clique ids containing instance i; demand cliques
-	// come first, edge cliques are offset by len(DemandCliques).
-	CliquesOf [][]int32
+	// Cliques row k lists the members of clique k; demand cliques come
+	// first, then edge cliques. Cliques of size < 2 are omitted.
+	Cliques model.CSR
+	// CliquesOf row i lists the clique ids containing instance i,
+	// ascending.
+	CliquesOf model.CSR
 }
 
-// BuildImplicit constructs the clique cover from a compiled model.
+// BuildImplicit constructs the clique cover from a compiled model. The
+// member lists are copied out of the model's InstsOf/EdgeInsts indexes
+// into two flat arrays — the cover itself adds four allocations total.
 func BuildImplicit(m *model.Model) *Implicit {
 	im := &Implicit{N: len(m.Insts)}
-	edgeInsts := make([][]int32, m.EdgeSpace)
-	for i := range m.Insts {
-		for _, e := range m.Paths[i] {
-			edgeInsts[e] = append(edgeInsts[e], int32(i))
+	nc, total := 0, 0
+	for a := 0; a < m.InstsOf.Rows(); a++ {
+		if l := m.InstsOf.RowLen(int32(a)); l >= 2 {
+			nc++
+			total += l
 		}
 	}
-	for _, members := range m.InstsOf {
+	for e := 0; e < m.EdgeInsts.Rows(); e++ {
+		if l := m.EdgeInsts.RowLen(int32(e)); l >= 2 {
+			nc++
+			total += l
+		}
+	}
+	im.Cliques = model.CSR{
+		Off:  make([]int32, 1, nc+1),
+		Data: make([]int32, 0, total),
+	}
+	appendClique := func(members []int32) {
 		if len(members) >= 2 {
-			im.DemandCliques = append(im.DemandCliques, members)
+			im.Cliques.Data = append(im.Cliques.Data, members...)
+			im.Cliques.Off = append(im.Cliques.Off, int32(len(im.Cliques.Data)))
 		}
 	}
-	for _, members := range edgeInsts {
-		if len(members) >= 2 {
-			im.EdgeCliques = append(im.EdgeCliques, members)
-		}
+	for a := 0; a < m.InstsOf.Rows(); a++ {
+		appendClique(m.InstsOf.Row(int32(a)))
 	}
-	im.CliquesOf = make([][]int32, im.N)
-	for k, members := range im.DemandCliques {
-		for _, i := range members {
-			im.CliquesOf[i] = append(im.CliquesOf[i], int32(k))
-		}
+	for e := 0; e < m.EdgeInsts.Rows(); e++ {
+		appendClique(m.EdgeInsts.Row(int32(e)))
 	}
-	off := int32(len(im.DemandCliques))
-	for k, members := range im.EdgeCliques {
-		for _, i := range members {
-			im.CliquesOf[i] = append(im.CliquesOf[i], off+int32(k))
-		}
-	}
+	im.CliquesOf = model.InvertCSR(&im.Cliques, im.N)
 	return im
 }
 
 // Clique returns the members of clique id k (demand cliques first).
 func (im *Implicit) Clique(k int32) []int32 {
-	if int(k) < len(im.DemandCliques) {
-		return im.DemandCliques[k]
-	}
-	return im.EdgeCliques[int(k)-len(im.DemandCliques)]
+	return im.Cliques.Row(k)
 }
 
 // NumCliques returns the total clique count.
 func (im *Implicit) NumCliques() int {
-	return len(im.DemandCliques) + len(im.EdgeCliques)
+	return im.Cliques.Rows()
 }
 
 // Build materializes the explicit conflict graph from the clique cover.
@@ -95,7 +96,7 @@ func Build(m *model.Model) *Graph {
 	}
 	for i := int32(0); int(i) < im.N; i++ {
 		seen[i] = i
-		for _, k := range im.CliquesOf[i] {
+		for _, k := range im.CliquesOf.Row(i) {
 			for _, j := range im.Clique(k) {
 				if seen[j] != i {
 					seen[j] = i
@@ -111,25 +112,36 @@ func Build(m *model.Model) *Graph {
 func (g *Graph) Degree(i int32) int { return len(g.Adj[i]) }
 
 // VerifyAgainstModel cross-checks the explicit graph against the model's
-// pairwise Conflict predicate. O(N²); for tests.
+// pairwise Conflict predicate, using a reusable neighbor-stamp slice
+// instead of per-vertex hash sets. O(N²); for tests.
 func (g *Graph) VerifyAgainstModel(m *model.Model) error {
-	adj := make([]map[int32]bool, g.N)
-	for i := range adj {
-		adj[i] = map[int32]bool{}
-		for _, j := range g.Adj[i] {
-			adj[i][j] = true
+	mark := make([]int32, g.N)
+	for i := range mark {
+		mark[i] = -1
+	}
+	contains := func(u, v int32) bool {
+		for _, w := range g.Adj[u] {
+			if w == v {
+				return true
+			}
 		}
+		return false
 	}
 	for i := int32(0); int(i) < g.N; i++ {
+		for _, j := range g.Adj[i] {
+			mark[j] = i
+		}
 		for j := int32(0); int(j) < g.N; j++ {
 			if i == j {
 				continue
 			}
-			want := m.Conflict(i, j)
-			if adj[i][j] != want {
-				return fmt.Errorf("conflict: edge (%d,%d)=%v want %v", i, j, adj[i][j], want)
+			has := mark[j] == i
+			if want := m.Conflict(i, j); has != want {
+				return fmt.Errorf("conflict: edge (%d,%d)=%v want %v", i, j, has, want)
 			}
-			if adj[i][j] != adj[j][i] {
+			// One-directional symmetry probe: a missing reverse edge is
+			// caught here, a missing forward edge at iteration (j,i).
+			if has && !contains(j, i) {
 				return fmt.Errorf("conflict: asymmetric edge (%d,%d)", i, j)
 			}
 		}

@@ -70,7 +70,7 @@ func TestImplicitCoversAllConflicts(t *testing.T) {
 		}
 		// CliquesOf must be the exact inverse of Clique membership.
 		for i := int32(0); int(i) < im.N; i++ {
-			for _, k := range im.CliquesOf[i] {
+			for _, k := range im.CliquesOf.Row(i) {
 				found := false
 				for _, j := range im.Clique(k) {
 					if j == i {

@@ -19,8 +19,8 @@ func CheckInterference(m *model.Model, trace *Trace) error {
 	paths := make([]map[int32]bool, len(m.Insts))
 	pathSet := func(i int32) map[int32]bool {
 		if paths[i] == nil {
-			s := make(map[int32]bool, len(m.Paths[i]))
-			for _, e := range m.Paths[i] {
+			s := make(map[int32]bool, m.Paths.RowLen(i))
+			for _, e := range m.Paths.Row(i) {
 				s[e] = true
 			}
 			paths[i] = s
@@ -35,7 +35,7 @@ func CheckInterference(m *model.Model, trace *Trace) error {
 			}
 			hit := false
 			p2 := pathSet(d2)
-			for _, e := range m.Pi[d1] {
+			for _, e := range m.Pi.Row(d1) {
 				if p2[e] {
 					hit = true
 					break
@@ -62,7 +62,7 @@ func CheckPhase2Coverage(m *model.Model, stack []StackEntry, selected []int32) e
 	for _, i := range selected {
 		inSel[i] = true
 		used[m.Insts[i].Demand] = true
-		for _, e := range m.Paths[i] {
+		for _, e := range m.Paths.Row(i) {
 			load[e] += m.Insts[i].Height
 		}
 	}
@@ -75,7 +75,7 @@ func CheckPhase2Coverage(m *model.Model, stack []StackEntry, selected []int32) e
 				continue // killed via K1: its demand is scheduled
 			}
 			blocked := false
-			for _, e := range m.Paths[i] {
+			for _, e := range m.Paths.Row(i) {
 				if load[e]+m.Insts[i].Height > m.Cap[e]+lp.Tol {
 					blocked = true
 					break

@@ -21,19 +21,36 @@ import (
 // All models reachable from a Compiled are immutable after construction,
 // so a single Compiled may serve concurrent solves.
 
-// solverModel couples a compiled model with its lazily built MIS routine,
-// so repeated solves skip conflict-structure construction (the explicit
-// conflict graph is the quadratic part of compilation).
+// solverModel couples a compiled model with its lazily built MIS routine
+// — so repeated solves skip conflict-structure construction (the explicit
+// conflict graph is the quadratic part of compilation) — and a pool of
+// solve scratches, so a warm solve reuses duals, active flags, stacks and
+// MIS buffers instead of reallocating them (see solveScratch).
 type solverModel struct {
-	m    *model.Model
-	once sync.Once
-	mis  misFunc
+	m        *model.Model
+	once     sync.Once
+	mis      misFunc
+	ncliques int
+	pool     sync.Pool // *solveScratch
 }
 
 func (sm *solverModel) misFn() misFunc {
-	sm.once.Do(func() { sm.mis = newMISFunc(sm.m) })
+	sm.once.Do(func() { sm.mis, sm.ncliques = newMISFunc(sm.m) })
 	return sm.mis
 }
+
+// acquire returns a scratch sized for this model, reusing a pooled one
+// when available. release returns it after the solve has finished with
+// every scratch-aliased value (duals, stack, selection).
+func (sm *solverModel) acquire() *solveScratch {
+	sm.misFn() // ensure ncliques is resolved
+	if v := sm.pool.Get(); v != nil {
+		return v.(*solveScratch)
+	}
+	return newSolveScratch(sm.m, sm.ncliques)
+}
+
+func (sm *solverModel) release(sc *solveScratch) { sm.pool.Put(sc) }
 
 // lazyModel builds a solverModel at most once. Build errors are cached
 // too — they are deterministic properties of the problem, so retrying
@@ -124,8 +141,12 @@ func (c *Compiled) splitModels() (wide, narrow *solverModel, err error) {
 				wideDemand[full.Insts[i].Demand] = true
 			}
 		}
+		// The sub-models reuse the full model's tree decompositions: they
+		// depend only on the trees and the decomposition kind, both fixed
+		// at Compile time.
 		wm, err := model.Build(c.p, model.Options{
 			DecompKind: c.decomp,
+			Decomps:    full.Decomps,
 			Filter:     func(d instance.Inst) bool { return wideDemand[d.Demand] },
 		})
 		if err != nil {
@@ -134,6 +155,7 @@ func (c *Compiled) splitModels() (wide, narrow *solverModel, err error) {
 		}
 		nm, err := model.Build(c.p, model.Options{
 			DecompKind: c.decomp,
+			Decomps:    full.Decomps,
 			Filter:     func(d instance.Inst) bool { return !wideDemand[d.Demand] },
 		})
 		if err != nil {
@@ -166,9 +188,15 @@ func (c *Compiled) sequentialLineModel() (*solverModel, error) {
 		if err != nil {
 			return nil, err
 		}
-		for i := range m.Insts {
-			m.Pi[i] = []int32{c.p.GlobalEdge(int(m.Insts[i].Net), m.Insts[i].V)}
+		pi := model.CSR{
+			Off:  make([]int32, len(m.Insts)+1),
+			Data: make([]int32, len(m.Insts)),
 		}
+		for i := range m.Insts {
+			pi.Data[i] = c.p.GlobalEdge(int(m.Insts[i].Net), m.Insts[i].V)
+			pi.Off[i+1] = int32(i + 1)
+		}
+		m.Pi = pi
 		m.Delta = 1
 		return m, nil
 	})

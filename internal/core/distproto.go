@@ -415,7 +415,7 @@ func (e *protoEngine) phase2(totalSteps int) {
 			d := e.m.Insts[i]
 			fits := !demandUsed
 			if fits {
-				for _, edge := range e.m.Paths[i] {
+				for _, edge := range e.m.Paths.Row(i) {
 					if load[edge]+d.Height > e.m.Cap[edge]+lp.Tol {
 						fits = false
 						break
@@ -424,7 +424,7 @@ func (e *protoEngine) phase2(totalSteps int) {
 			}
 			if fits {
 				demandUsed = true
-				for _, edge := range e.m.Paths[i] {
+				for _, edge := range e.m.Paths.Row(i) {
 					load[edge] += d.Height
 				}
 				e.ns.selected = append(e.ns.selected, i)
@@ -442,7 +442,7 @@ func (e *protoEngine) phase2(totalSteps int) {
 		for _, msg := range selIn {
 			for _, inst := range msg.Payload.(*selPayload).Insts {
 				h := e.m.Insts[inst].Height
-				for _, edge := range e.m.Paths[inst] {
+				for _, edge := range e.m.Paths.Row(inst) {
 					if e.ns.relevant[edge] {
 						load[edge] += h
 					}

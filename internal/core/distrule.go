@@ -48,7 +48,7 @@ type unitLocal struct{}
 
 func (unitLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += ns.beta[e]
 	}
 	return ns.alpha + sum
@@ -68,7 +68,7 @@ type narrowLocal struct{}
 
 func (narrowLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += ns.beta[e]
 	}
 	return ns.alpha + m.Insts[i].Height*sum
@@ -89,7 +89,7 @@ type capLocal struct{}
 
 func (capLocal) lhs(m *model.Model, ns *nodeState, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += ns.beta[e] / m.Cap[e]
 	}
 	return ns.alpha + m.Insts[i].Height*sum
@@ -117,12 +117,12 @@ type nodeState struct {
 
 func newNodeState(m *model.Model, u int) *nodeState {
 	ns := &nodeState{
-		mine:     m.InstsOf[u],
+		mine:     m.InstsOf.Row(int32(u)),
 		beta:     map[int32]float64{},
 		relevant: map[int32]bool{},
 	}
 	for _, i := range ns.mine {
-		for _, e := range m.Paths[i] {
+		for _, e := range m.Paths.Row(i) {
 			ns.relevant[e] = true
 		}
 	}
@@ -136,7 +136,7 @@ func (ns *nodeState) raiseLocal(m *model.Model, dr distRule, i int32) float64 {
 	if s <= lp.Tol {
 		return 0
 	}
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	k := float64(len(pi))
 	delta := dr.delta(m, i, s, k)
 	ns.alpha += delta
@@ -148,7 +148,7 @@ func (ns *nodeState) raiseLocal(m *model.Model, dr distRule, i int32) float64 {
 
 // applyRemoteRaise folds a neighbor's announced raise into local β copies.
 func (ns *nodeState) applyRemoteRaise(m *model.Model, dr distRule, i int32, delta float64) {
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	k := float64(len(pi))
 	for _, e := range pi {
 		ns.applyBeta(e, dr.betaInc(m, e, k, delta))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"treesched/internal/instance"
@@ -81,7 +82,7 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 		// Branch 1: take i if feasible.
 		if !used[d.Demand] {
 			fits := true
-			for _, e := range m.Paths[i] {
+			for _, e := range m.Paths.Row(i) {
 				if load[e]+d.Height > m.Cap[e]+lp.Tol {
 					fits = false
 					break
@@ -89,7 +90,7 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 			}
 			if fits {
 				used[d.Demand] = true
-				for _, e := range m.Paths[i] {
+				for _, e := range m.Paths.Row(i) {
 					load[e] += d.Height
 				}
 				cur = append(cur, i)
@@ -97,7 +98,7 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 					return err
 				}
 				cur = cur[:len(cur)-1]
-				for _, e := range m.Paths[i] {
+				for _, e := range m.Paths.Row(i) {
 					load[e] -= d.Height
 				}
 				used[d.Demand] = false
@@ -110,7 +111,7 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Name: "exact", Lambda: 1, Bound: 1, Model: m}
-	sortInt32(bestSet)
+	slices.Sort(bestSet)
 	for _, i := range bestSet {
 		res.Selected = append(res.Selected, m.Insts[i])
 		res.Profit += m.Insts[i].Profit
@@ -154,7 +155,7 @@ func (c *Compiled) Greedy() (*Result, error) {
 			continue
 		}
 		fits := true
-		for _, e := range m.Paths[i] {
+		for _, e := range m.Paths.Row(i) {
 			if load[e]+d.Height > m.Cap[e]+lp.Tol {
 				fits = false
 				break
@@ -164,7 +165,7 @@ func (c *Compiled) Greedy() (*Result, error) {
 			continue
 		}
 		used[d.Demand] = true
-		for _, e := range m.Paths[i] {
+		for _, e := range m.Paths.Row(i) {
 			load[e] += d.Height
 		}
 		res.Selected = append(res.Selected, d)

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"treesched/internal/conflict"
 	"treesched/internal/lp"
@@ -173,29 +174,98 @@ type StackEntry struct {
 // implicitThreshold is the instance count above which Phase1 switches from
 // the explicit conflict graph (cliques materialized as adjacency, possibly
 // quadratic) to clique-cover aggregation. The two paths compute identical
-// sets (see mis.LubyFuncImplicit).
-const implicitThreshold = 768
+// sets (see mis.LubyFuncImplicit). The cover costs O(Σ|clique|) to build
+// where the adjacency is quadratic in clique sizes, and since the Luby
+// routines walk only the undecided frontier the per-solve costs are
+// comparable — so the cold path prefers the cover for everything but tiny
+// models, where the densest adjacency is still a handful of cache lines.
+const implicitThreshold = 32
 
 // misFunc computes a maximal independent set of the active instances
 // under the given priority function, returning the set and the number of
-// Luby phases used.
-type misFunc func(active []bool, prio func(int32, int) float64) ([]int32, int)
+// Luby phases used. The returned set aliases the scratch and is
+// overwritten by the next call.
+type misFunc func(sc *mis.Scratch, active []bool, prio func(int32, int) float64) ([]int32, int)
 
 // newMISFunc builds the MIS routine for m, choosing the explicit or
-// implicit conflict representation by instance count. Building the
-// conflict structure is the expensive part; Compiled caches the returned
-// closure so repeated solves pay it once.
-func newMISFunc(m *model.Model) misFunc {
+// implicit conflict representation by instance count, and reports the
+// clique count the routine's scratch must be sized for (0 for the
+// explicit path). Building the conflict structure is the expensive part;
+// Compiled caches the returned closure so repeated solves pay it once.
+func newMISFunc(m *model.Model) (misFunc, int) {
 	if len(m.Insts) > implicitThreshold {
 		im := conflict.BuildImplicit(m)
-		return func(active []bool, prio func(int32, int) float64) ([]int32, int) {
-			return mis.LubyFuncImplicit(im, active, prio)
-		}
+		return func(sc *mis.Scratch, active []bool, prio func(int32, int) float64) ([]int32, int) {
+			return sc.LubyFuncImplicit(im, active, prio)
+		}, im.NumCliques()
 	}
 	cg := conflict.Build(m)
-	return func(active []bool, prio func(int32, int) float64) ([]int32, int) {
-		return mis.LubyFunc(cg.Adj, active, prio)
+	return func(sc *mis.Scratch, active []bool, prio func(int32, int) float64) ([]int32, int) {
+		return sc.LubyFunc(cg.Adj, active, prio)
+	}, 0
+}
+
+// solveScratch holds every reusable buffer of one centralized solve:
+// duals, the Phase1 active flags and recheck stamps, the stack and its
+// set arena, the Phase2 feasibility state, and the Luby scratch. A warm
+// Compiled pools these per sub-model (see solverModel), so a steady-state
+// solve touches the heap only for its Result.
+type solveScratch struct {
+	duals    lp.Duals
+	active   []bool
+	stamp    []int32
+	stampGen int32
+	// lhs caches, per instance, the value of the last full rule.LHS
+	// recomputation; dirty marks instances whose duals moved since. Reads
+	// recompute on dirty and reuse the cache otherwise, so every
+	// satisfaction test compares exactly the number a fresh recomputation
+	// would produce — float-identical to the rescan reference.
+	lhs   []float64
+	dirty []bool
+	// setArena backs every StackEntry.Set of one solve; entries are
+	// capped sub-slices, so later appends never alias earlier sets. When
+	// the arena grows, superseded backing arrays stay referenced by the
+	// already-pushed sets until the solve ends.
+	setArena []int32
+	stack    []StackEntry
+	load     []float64
+	used     []bool
+	selected []int32
+	mis      *mis.Scratch
+}
+
+func newSolveScratch(m *model.Model, numCliques int) *solveScratch {
+	n := len(m.Insts)
+	return &solveScratch{
+		duals: lp.Duals{
+			Alpha: make([]float64, m.NumDemands),
+			Beta:  make([]float64, m.EdgeSpace),
+		},
+		active: make([]bool, n),
+		stamp:  make([]int32, n),
+		lhs:    make([]float64, n),
+		dirty:  make([]bool, n),
+		load:   make([]float64, m.EdgeSpace),
+		used:   make([]bool, m.NumDemands),
+		mis:    mis.NewScratch(n, numCliques),
 	}
+}
+
+// reset prepares the scratch for a fresh Phase1 (phase2 clears its own
+// buffers). active is all-false whenever a stage loop terminates
+// normally; it is cleared anyway so a pooled scratch recovers from an
+// aborted (error-path) solve.
+func (sc *solveScratch) reset() {
+	clear(sc.duals.Alpha)
+	clear(sc.duals.Beta)
+	clear(sc.active)
+	clear(sc.stamp)
+	sc.stampGen = 0
+	for i := range sc.dirty {
+		sc.dirty[i] = true
+	}
+	sc.setArena = sc.setArena[:0]
+	sc.stack = sc.stack[:0]
 }
 
 // Phase1 runs the first phase (§3.2/§5) centrally: per epoch and stage,
@@ -203,46 +273,99 @@ func newMISFunc(m *model.Model) misFunc {
 // members (via deterministic-priority Luby, seeded), raise them tight, and
 // push the set. It returns the dual assignment and the stack.
 func Phase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
-	return phase1(m, newMISFunc(m), rule, sched, seed, trace)
+	misFn, nc := newMISFunc(m)
+	return phase1(m, misFn, rule, sched, seed, trace, newSolveScratch(m, nc))
 }
 
-// phase1 is Phase1 with the MIS routine supplied by the caller (cached in
-// a solverModel, or freshly built).
-func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
-	duals := lp.NewDuals(m)
-	n := len(m.Insts)
-	active := make([]bool, n)
-	var stack []StackEntry
+// phase1 is Phase1 with the MIS routine and scratch supplied by the
+// caller (cached and pooled in a solverModel, or freshly built). The
+// returned duals and stack alias the scratch: a pooling caller must
+// finish with them before releasing it.
+//
+// The active set is tracked incrementally instead of rescanned: each
+// stage starts with one scan of the epoch's layer-group bucket, and each
+// step re-evaluates satisfaction only for instances a raise could have
+// moved — the raised demand's instances (α changed) and the instances
+// whose path crosses a raised critical edge (β changed). Raises only
+// ever increase dual LHS values, so an untouched instance's satisfaction
+// cannot change and the tracked set stays exactly the rescan set; the
+// equivalence suite asserts byte-identical duals and stacks against a
+// full-rescan reference.
+func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed uint64, trace *Trace, sc *solveScratch) (*lp.Duals, []StackEntry, error) {
+	sc.reset()
+	duals := &sc.duals
+	active := sc.active
 	stepCounter := uint64(0)
 
+	// One priority closure per solve; prioStep is rebound each step.
+	prioStep := uint64(0)
+	prio := func(i int32, phase int) float64 {
+		return mis.Priority(seed, i, prioStep, phase)
+	}
+	// satisfied is lp.Satisfied through the lazy LHS cache: recompute on
+	// dirty, reuse the last recomputation otherwise. The cached value is
+	// always itself a full rule.LHS evaluation of the current duals, so
+	// the comparison is float-identical to an uncached rescan.
+	threshold := 0.0
+	satisfied := func(i int32) bool {
+		if sc.dirty[i] {
+			sc.lhs[i] = rule.LHS(m, duals, i)
+			sc.dirty[i] = false
+		}
+		return sc.lhs[i] >= threshold*m.Insts[i].Profit-lp.Tol
+	}
+	// touch marks one raise-affected instance dirty and, when it is in
+	// the running stage's active set, re-evaluates it; the stamp
+	// deduplicates multi-edge hits within one step.
+	count := 0
+	touch := func(i int32) {
+		if sc.stamp[i] == sc.stampGen {
+			return
+		}
+		sc.stamp[i] = sc.stampGen
+		sc.dirty[i] = true
+		if active[i] && satisfied(i) {
+			active[i] = false
+			count--
+		}
+	}
+
 	for k := 1; k <= sched.Epochs; k++ {
+		var group []int32
+		if k <= m.GroupInsts.Rows() {
+			group = m.GroupInsts.Row(int32(k - 1))
+		}
 		var stageSteps []int
 		for j := 1; j <= sched.Stages; j++ {
-			threshold := sched.Thresholds[j-1]
+			threshold = sched.Thresholds[j-1]
+			// U = group-k instances that are threshold-unsatisfied. One
+			// bucket scan per stage — cached LHS reads, so only instances
+			// raises touched since their last read walk their path; the
+			// step loop below maintains the set incrementally.
+			count = 0
+			for _, i := range group {
+				if !satisfied(i) {
+					active[i] = true
+					count++
+				}
+			}
 			steps := 0
-			for {
-				// U = group-k instances that are threshold-unsatisfied.
-				anyActive := false
-				for i := 0; i < n; i++ {
-					active[i] = int(m.Group[i]) == k &&
-						!lp.Satisfied(rule, m, duals, int32(i), threshold)
-					anyActive = anyActive || active[i]
-				}
-				if !anyActive {
-					break
-				}
+			for count > 0 {
 				steps++
 				if steps > sched.MaxSteps {
 					return nil, nil, fmt.Errorf("core: stage (%d,%d) exceeded %d steps — kill-chain bound violated", k, j, sched.MaxSteps)
 				}
 				stepCounter++
-				sc := stepCounter
-				set, phases := misFn(active, func(i int32, phase int) float64 {
-					return mis.Priority(seed, i, sc, phase)
-				})
+				prioStep = stepCounter
+				set, phases := misFn(sc.mis, active, prio)
 				if trace != nil {
 					trace.MISPhases += phases
 				}
+				// The MIS scratch reuses its output buffer, so the set is
+				// copied into the solve's arena before it is retained.
+				start := len(sc.setArena)
+				sc.setArena = append(sc.setArena, set...)
+				set = sc.setArena[start:len(sc.setArena):len(sc.setArena)]
 				for _, i := range set {
 					delta := rule.Raise(m, duals, i)
 					if trace != nil {
@@ -251,15 +374,33 @@ func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed ui
 						})
 					}
 				}
-				stack = append(stack, StackEntry{Epoch: k, Stage: j, Step: steps, Set: set})
+				sc.stack = append(sc.stack, StackEntry{Epoch: k, Stage: j, Step: steps, Set: set})
+				// Delta-driven maintenance: a raise moves α of its demand
+				// and β of its critical edges, so the instances it could
+				// have satisfied — or whose cached LHS it staled — are the
+				// demand's instances and those whose path crosses a raised
+				// critical edge. Everything else keeps a valid cache.
+				sc.stampGen++
+				for _, i := range set {
+					for _, o := range m.InstsOf.Row(m.Insts[i].Demand) {
+						touch(o)
+					}
+					for _, e := range m.Pi.Row(i) {
+						for _, o := range m.EdgeInsts.Row(e) {
+							touch(o)
+						}
+					}
+				}
 			}
-			stageSteps = append(stageSteps, steps)
+			if trace != nil {
+				stageSteps = append(stageSteps, steps)
+			}
 		}
 		if trace != nil {
 			trace.StepsPerStage = append(trace.StepsPerStage, stageSteps)
 		}
 	}
-	return duals, stack, nil
+	return duals, sc.stack, nil
 }
 
 // Phase2 pops the stack in reverse and greedily adds instances that keep
@@ -269,17 +410,23 @@ func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed ui
 // instances (h > cap/2) capacity-fit coincides with pairwise conflict, so
 // one implementation serves all variants.
 func Phase2(m *model.Model, stack []StackEntry) []int32 {
-	load := make([]float64, m.EdgeSpace)
-	usedDemand := make([]bool, m.NumDemands)
-	var selected []int32
+	return phase2(m, stack, make([]float64, m.EdgeSpace), make([]bool, m.NumDemands), nil)
+}
+
+// phase2 is Phase2 over caller-supplied buffers (pooled in a
+// solveScratch): load and used are cleared here, selections are appended
+// to selected (sliced to zero length by the caller when reusing).
+func phase2(m *model.Model, stack []StackEntry, load []float64, used []bool, selected []int32) []int32 {
+	clear(load)
+	clear(used)
 	for s := len(stack) - 1; s >= 0; s-- {
 		for _, i := range stack[s].Set {
-			if usedDemand[m.Insts[i].Demand] {
+			if used[m.Insts[i].Demand] {
 				continue
 			}
 			h := m.Insts[i].Height
 			fits := true
-			for _, e := range m.Paths[i] {
+			for _, e := range m.Paths.Row(i) {
 				if load[e]+h > m.Cap[e]+lp.Tol {
 					fits = false
 					break
@@ -288,21 +435,13 @@ func Phase2(m *model.Model, stack []StackEntry) []int32 {
 			if !fits {
 				continue
 			}
-			usedDemand[m.Insts[i].Demand] = true
-			for _, e := range m.Paths[i] {
+			used[m.Insts[i].Demand] = true
+			for _, e := range m.Paths.Row(i) {
 				load[e] += h
 			}
 			selected = append(selected, i)
 		}
 	}
-	sortInt32(selected)
+	slices.Sort(selected)
 	return selected
-}
-
-func sortInt32(s []int32) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

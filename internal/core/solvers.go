@@ -75,14 +75,18 @@ func (o Options) withDefaults() Options {
 var ErrCertificate = fmt.Errorf("slackness certificate failed")
 
 // runPhases executes phase 1 + verification + phase 2 on a compiled model
-// and assembles a Result.
+// and assembles a Result. The solve runs entirely on the solverModel's
+// pooled scratch: everything scratch-aliased (duals, stack, selection) is
+// consumed before the deferred release, and only the Result escapes.
 func runPhases(name string, sm *solverModel, rule lp.Rule, sched Schedule, opts Options, bound float64) (*Result, error) {
 	m := sm.m
 	var trace *Trace
 	if opts.CollectTrace {
 		trace = &Trace{}
 	}
-	duals, stack, err := phase1(m, sm.misFn(), rule, sched, opts.Seed, trace)
+	sc := sm.acquire()
+	defer sm.release(sc)
+	duals, stack, err := phase1(m, sm.misFn(), rule, sched, opts.Seed, trace, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -91,7 +95,8 @@ func runPhases(name string, sm *solverModel, rule lp.Rule, sched Schedule, opts 
 			return nil, fmt.Errorf("core: %s: %w: %v", name, ErrCertificate, err)
 		}
 	}
-	sel := Phase2(m, stack)
+	sel := phase2(m, stack, sc.load, sc.used, sc.selected[:0])
+	sc.selected = sel
 	res := &Result{
 		Name:   name,
 		Lambda: sched.Lambda,

@@ -118,7 +118,7 @@ func (Unit) Name() string { return "unit" }
 // LHS implements Rule.
 func (Unit) LHS(m *model.Model, d *Duals, i int32) float64 {
 	sum := d.Alpha[m.Insts[i].Demand]
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += d.Beta[e]
 	}
 	return sum
@@ -130,7 +130,7 @@ func (u Unit) Raise(m *model.Model, d *Duals, i int32) float64 {
 	if s <= Tol {
 		return 0
 	}
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	delta := s / float64(len(pi)+1)
 	d.Alpha[m.Insts[i].Demand] += delta
 	for _, e := range pi {
@@ -154,7 +154,7 @@ func (UnitNoAlpha) Name() string { return "unit-noalpha" }
 // LHS implements Rule.
 func (UnitNoAlpha) LHS(m *model.Model, d *Duals, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += d.Beta[e]
 	}
 	return sum
@@ -166,7 +166,7 @@ func (u UnitNoAlpha) Raise(m *model.Model, d *Duals, i int32) float64 {
 	if s <= Tol {
 		return 0
 	}
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	delta := s / float64(len(pi))
 	for _, e := range pi {
 		d.Beta[e] += delta
@@ -186,7 +186,7 @@ func (Narrow) Name() string { return "narrow" }
 // LHS implements Rule.
 func (Narrow) LHS(m *model.Model, d *Duals, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += d.Beta[e]
 	}
 	return d.Alpha[m.Insts[i].Demand] + m.Insts[i].Height*sum
@@ -198,7 +198,7 @@ func (r Narrow) Raise(m *model.Model, d *Duals, i int32) float64 {
 	if s <= Tol {
 		return 0
 	}
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	h := m.Insts[i].Height
 	k := float64(len(pi))
 	delta := s / (1 + 2*h*k*k)
@@ -227,7 +227,7 @@ func (Capacitated) Name() string { return "capacitated" }
 // LHS implements Rule: α(a) + h·Σ_{e∈path} Beta[e]/cap(e).
 func (Capacitated) LHS(m *model.Model, d *Duals, i int32) float64 {
 	sum := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		sum += d.Beta[e] / m.Cap[e]
 	}
 	return d.Alpha[m.Insts[i].Demand] + m.Insts[i].Height*sum
@@ -240,7 +240,7 @@ func (r Capacitated) Raise(m *model.Model, d *Duals, i int32) float64 {
 	if s <= Tol {
 		return 0
 	}
-	pi := m.Pi[i]
+	pi := m.Pi.Row(i)
 	h := m.Insts[i].Height
 	k := float64(len(pi))
 	delta := s / (1 + 2*h*k*k)
@@ -252,13 +252,8 @@ func (r Capacitated) Raise(m *model.Model, d *Duals, i int32) float64 {
 }
 
 // ObjectivePerRaise implements Rule: α moves δ, each of ≤∆ edges moves
-// 2∆·cap(e)·δ in pre-multiplied form.
+// 2∆·cap(e)·δ in pre-multiplied form. The capacity maximum is
+// precomputed at model build, keeping this O(1) per call.
 func (Capacitated) ObjectivePerRaise(m *model.Model) float64 {
-	maxCap := 0.0
-	for _, c := range m.Cap {
-		if c > maxCap {
-			maxCap = c
-		}
-	}
-	return 2*float64(m.Delta*m.Delta)*maxCap + 1
+	return 2*float64(m.Delta*m.Delta)*m.MaxCap + 1
 }

@@ -74,14 +74,14 @@ func TestUnitRaiseDeltaFormula(t *testing.T) {
 	i := int32(0)
 	s := Slack(r, m, d, i)
 	delta := r.Raise(m, d, i)
-	want := s / float64(len(m.Pi[i])+1)
+	want := s / float64(m.Pi.RowLen(i)+1)
 	if math.Abs(delta-want) > 1e-12 {
 		t.Fatalf("δ=%g want s/(|π|+1)=%g", delta, want)
 	}
 	if got := d.Alpha[m.Insts[i].Demand]; math.Abs(got-delta) > 1e-12 {
 		t.Fatalf("α=%g want %g", got, delta)
 	}
-	for _, e := range m.Pi[i] {
+	for _, e := range m.Pi.Row(i) {
 		if math.Abs(d.Beta[e]-delta) > 1e-12 {
 			t.Fatalf("β[%d]=%g want %g", e, d.Beta[e], delta)
 		}
@@ -94,8 +94,8 @@ func TestNarrowRaiseBetaIncrement(t *testing.T) {
 	r := Narrow{}
 	i := int32(0)
 	delta := r.Raise(m, d, i)
-	k := float64(len(m.Pi[i]))
-	for _, e := range m.Pi[i] {
+	k := float64(m.Pi.RowLen(i))
+	for _, e := range m.Pi.Row(i) {
 		if math.Abs(d.Beta[e]-2*k*delta) > 1e-12 {
 			t.Fatalf("β[%d]=%g want 2|π|δ=%g", e, d.Beta[e], 2*k*delta)
 		}

@@ -14,6 +14,7 @@ package mis
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"treesched/internal/conflict"
 )
@@ -139,7 +140,7 @@ func LubyImplicit(im *conflict.Implicit, active []bool, rng *rand.Rand) ([]int32
 				continue
 			}
 			best := true
-			for _, k := range im.CliquesOf[i] {
+			for _, k := range im.CliquesOf.Row(i) {
 				if top1[k] != i {
 					best = false
 					break
@@ -155,7 +156,7 @@ func LubyImplicit(im *conflict.Implicit, active []bool, rng *rand.Rand) ([]int32
 			mis = append(mis, i)
 		}
 		for _, i := range winners {
-			for _, k := range im.CliquesOf[i] {
+			for _, k := range im.CliquesOf.Row(i) {
 				for _, j := range im.Clique(k) {
 					if st[j] == undecided {
 						st[j] = excluded
@@ -230,11 +231,5 @@ func VerifyMaximalIndependent(g *conflict.Graph, active []bool, set []int32) err
 }
 
 func sortInt32(s []int32) {
-	// Insertion sort: winner lists are appended mostly in order and are
-	// small relative to N.
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	slices.Sort(s)
 }

@@ -1,8 +1,6 @@
 package mis
 
 import (
-	"math"
-
 	"treesched/internal/conflict"
 )
 
@@ -27,117 +25,164 @@ func Priority(seed uint64, inst int32, step uint64, phase int) float64 {
 	return float64(z>>11) / float64(1<<53)
 }
 
+// Scratch holds the reusable state of the deterministic-priority Luby
+// routines so a solver calling them once per framework step allocates
+// nothing in steady state. A Scratch is single-goroutine; size it for the
+// largest (vertex count, clique count) pair it will see. The set returned
+// by its methods aliases an internal buffer and is overwritten by the
+// next call — callers that retain sets must copy them out.
+type Scratch struct {
+	st      []state
+	prio    []float64
+	und     []int32
+	winners []int32
+	out     []int32
+	// Per-clique phase minima, reset lazily: a clique's top1 entry is
+	// valid only when its stamp matches the current generation, so phases
+	// touch only the cliques of still-undecided vertices.
+	top1        []int32
+	cliqueStamp []int32
+	cliqueGen   int32
+}
+
+// NewScratch sizes a scratch for n vertices and numCliques cliques
+// (numCliques may be 0 when only the explicit-graph routine is used).
+func NewScratch(n, numCliques int) *Scratch {
+	return &Scratch{
+		st:          make([]state, n),
+		prio:        make([]float64, n),
+		top1:        make([]int32, numCliques),
+		cliqueStamp: make([]int32, numCliques),
+	}
+}
+
+// ensure re-sizes the buffers for a call on n vertices / nc cliques.
+func (s *Scratch) ensure(n, nc int) {
+	if cap(s.st) < n {
+		s.st = make([]state, n)
+		s.prio = make([]float64, n)
+	}
+	s.st = s.st[:n]
+	s.prio = s.prio[:n]
+	if cap(s.top1) < nc {
+		s.top1 = make([]int32, nc)
+		s.cliqueStamp = make([]int32, nc)
+	}
+	s.top1 = s.top1[:nc]
+	s.cliqueStamp = s.cliqueStamp[:nc]
+	s.und = s.und[:0]
+	s.winners = s.winners[:0]
+	s.out = s.out[:0]
+}
+
+// initStates seeds the per-vertex states and the ascending undecided
+// worklist from the active flags.
+func (s *Scratch) initStates(active []bool) {
+	for i := range s.st {
+		if active[i] {
+			s.st[i] = undecided
+			s.und = append(s.und, int32(i))
+		} else {
+			s.st[i] = inactive
+		}
+	}
+}
+
+// compactUndecided drops decided vertices from the worklist, preserving
+// ascending order.
+func (s *Scratch) compactUndecided() {
+	keep := s.und[:0]
+	for _, i := range s.und {
+		if s.st[i] == undecided {
+			keep = append(keep, i)
+		}
+	}
+	s.und = keep
+}
+
 // LubyFuncImplicit mirrors LubyFunc over a clique cover: winners are the
 // per-clique minima by (priority, index), exclusions are clique
 // co-members. With the same priority function it returns exactly the same
-// set and phase count as LubyFunc on the corresponding explicit graph, at
-// O(Σ|clique|) per phase instead of O(edges).
-func LubyFuncImplicit(im *conflict.Implicit, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
-	st := make([]state, im.N)
-	remaining := 0
-	for i := range st {
-		if active[i] {
-			st[i] = undecided
-			remaining++
-		} else {
-			st[i] = inactive
-		}
-	}
-	p := make([]float64, im.N)
-	nc := im.NumCliques()
-	top1 := make([]int32, nc)
-	var mis []int32
+// set and phase count as LubyFunc on the corresponding explicit graph.
+// Each phase walks only the undecided vertices and their cliques (minima
+// accumulated with lazily-stamped per-clique slots), so the cost tracks
+// the shrinking frontier rather than the full cover.
+func (s *Scratch) LubyFuncImplicit(im *conflict.Implicit, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	s.ensure(im.N, im.NumCliques())
+	s.initStates(active)
+	st, p, top1 := s.st, s.prio, s.top1
 	phase := 0
 	better := func(a, b int32) bool {
 		return p[a] < p[b] || (p[a] == p[b] && a < b)
 	}
-	for remaining > 0 {
+	for len(s.und) > 0 {
 		phase++
-		for i := 0; i < im.N; i++ {
-			if st[i] == undecided {
-				p[i] = prio(int32(i), phase)
-			}
+		for _, i := range s.und {
+			p[i] = prio(i, phase)
 		}
-		for k := 0; k < nc; k++ {
-			top1[k] = -1
-			for _, i := range im.Clique(int32(k)) {
-				if st[i] != undecided {
-					continue
-				}
-				if top1[k] < 0 || better(i, top1[k]) {
+		// Ascending accumulation over the undecided worklist reproduces
+		// each clique's minimum over its undecided members exactly.
+		s.cliqueGen++
+		for _, i := range s.und {
+			for _, k := range im.CliquesOf.Row(i) {
+				if s.cliqueStamp[k] != s.cliqueGen {
+					s.cliqueStamp[k] = s.cliqueGen
+					top1[k] = i
+				} else if better(i, top1[k]) {
 					top1[k] = i
 				}
 			}
 		}
-		var winners []int32
-		for i := int32(0); int(i) < im.N; i++ {
-			if st[i] != undecided {
-				continue
-			}
+		s.winners = s.winners[:0]
+		for _, i := range s.und {
 			best := true
-			for _, k := range im.CliquesOf[i] {
+			for _, k := range im.CliquesOf.Row(i) {
 				if top1[k] != i {
 					best = false
 					break
 				}
 			}
 			if best {
-				winners = append(winners, i)
+				s.winners = append(s.winners, i)
 			}
 		}
-		for _, i := range winners {
+		for _, i := range s.winners {
 			st[i] = inMIS
-			remaining--
-			mis = append(mis, i)
+			s.out = append(s.out, i)
 		}
-		for _, i := range winners {
-			for _, k := range im.CliquesOf[i] {
+		for _, i := range s.winners {
+			for _, k := range im.CliquesOf.Row(i) {
 				for _, j := range im.Clique(k) {
 					if st[j] == undecided {
 						st[j] = excluded
-						remaining--
 					}
 				}
 			}
 		}
+		s.compactUndecided()
 	}
-	sortInt32(mis)
-	return mis, phase
+	sortInt32(s.out)
+	return s.out, phase
 }
 
 // LubyFunc computes a maximal independent set like Luby, but with
 // priorities supplied by prio(vertex, phase) instead of an rng — the hook
 // the deterministic distributed/centralized equivalence uses. It returns
 // the set (ascending) and the number of phases.
-func LubyFunc(adj [][]int32, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
-	n := len(adj)
-	st := make([]state, n)
-	remaining := 0
-	for i := range st {
-		if active[i] {
-			st[i] = undecided
-			remaining++
-		} else {
-			st[i] = inactive
-		}
-	}
-	p := make([]float64, n)
-	var mis []int32
+func (s *Scratch) LubyFunc(adj [][]int32, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	s.ensure(len(adj), 0)
+	s.initStates(active)
+	st, p := s.st, s.prio
 	phase := 0
-	for remaining > 0 {
+	for len(s.und) > 0 {
 		phase++
-		for i := 0; i < n; i++ {
-			if st[i] == undecided {
-				p[i] = prio(int32(i), phase)
-			} else {
-				p[i] = math.Inf(1)
-			}
+		// Priorities of decided vertices are never read (the winner scan
+		// skips them before comparing), so only the worklist draws.
+		for _, i := range s.und {
+			p[i] = prio(i, phase)
 		}
-		var winners []int32
-		for i := int32(0); int(i) < n; i++ {
-			if st[i] != undecided {
-				continue
-			}
+		s.winners = s.winners[:0]
+		for _, i := range s.und {
 			best := true
 			for _, j := range adj[i] {
 				if st[j] != undecided {
@@ -149,23 +194,40 @@ func LubyFunc(adj [][]int32, active []bool, prio func(i int32, phase int) float6
 				}
 			}
 			if best {
-				winners = append(winners, i)
+				s.winners = append(s.winners, i)
 			}
 		}
-		for _, i := range winners {
+		for _, i := range s.winners {
 			st[i] = inMIS
-			remaining--
-			mis = append(mis, i)
+			s.out = append(s.out, i)
 		}
-		for _, i := range winners {
+		for _, i := range s.winners {
 			for _, j := range adj[i] {
 				if st[j] == undecided {
 					st[j] = excluded
-					remaining--
 				}
 			}
 		}
+		s.compactUndecided()
 	}
-	sortInt32(mis)
-	return mis, phase
+	sortInt32(s.out)
+	return s.out, phase
+}
+
+// LubyFuncImplicit is the allocating form of Scratch.LubyFuncImplicit;
+// the returned set is freshly allocated and safe to retain.
+func LubyFuncImplicit(im *conflict.Implicit, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	set, phases := NewScratch(im.N, im.NumCliques()).LubyFuncImplicit(im, active, prio)
+	out := make([]int32, len(set))
+	copy(out, set)
+	return out, phases
+}
+
+// LubyFunc is the allocating form of Scratch.LubyFunc; the returned set
+// is freshly allocated and safe to retain.
+func LubyFunc(adj [][]int32, active []bool, prio func(i int32, phase int) float64) ([]int32, int) {
+	set, phases := NewScratch(len(adj), 0).LubyFunc(adj, active, prio)
+	out := make([]int32, len(set))
+	copy(out, set)
+	return out, phases
 }

@@ -1,0 +1,94 @@
+package model
+
+// CSR is a compact slice-of-slices: row i is Data[Off[i]:Off[i+1]]. The
+// whole structure is two allocations regardless of row count, rows are
+// contiguous in memory (cache-linear iteration over consecutive rows),
+// and rebuilding it in place costs no per-row allocation — the layout the
+// solver hot path iterates millions of times per second. Rows share one
+// backing array: callers must not append to a returned row.
+type CSR struct {
+	// Off has one entry per row plus a terminator: len(Off) = Rows()+1.
+	Off []int32
+	// Data holds the concatenated rows.
+	Data []int32
+}
+
+// Rows returns the number of rows.
+func (c *CSR) Rows() int {
+	if len(c.Off) == 0 {
+		return 0
+	}
+	return len(c.Off) - 1
+}
+
+// Row returns row i as a view into the shared backing array.
+func (c *CSR) Row(i int32) []int32 {
+	return c.Data[c.Off[i]:c.Off[i+1]]
+}
+
+// RowLen returns len(Row(i)) without materializing the slice header.
+func (c *CSR) RowLen(i int32) int {
+	return int(c.Off[i+1] - c.Off[i])
+}
+
+// NewCSR flattens rows into a CSR (two allocations, rows copied in
+// order).
+func NewCSR(rows [][]int32) CSR {
+	total := 0
+	for _, r := range rows {
+		total += len(r)
+	}
+	c := CSR{
+		Off:  make([]int32, len(rows)+1),
+		Data: make([]int32, 0, total),
+	}
+	for i, r := range rows {
+		c.Data = append(c.Data, r...)
+		c.Off[i+1] = int32(len(c.Data))
+	}
+	return c
+}
+
+// BucketCSR distributes items 0..n-1 into numRows buckets by rowOf; each
+// row lists its items in ascending order. Two passes, two allocations.
+func BucketCSR(numRows, n int, rowOf func(i int32) int32) CSR {
+	counts := make([]int32, numRows+1)
+	for i := int32(0); int(i) < n; i++ {
+		counts[rowOf(i)+1]++
+	}
+	for r := 0; r < numRows; r++ {
+		counts[r+1] += counts[r]
+	}
+	c := CSR{Off: counts, Data: make([]int32, n)}
+	next := make([]int32, numRows)
+	copy(next, c.Off[:numRows])
+	for i := int32(0); int(i) < n; i++ {
+		r := rowOf(i)
+		c.Data[next[r]] = i
+		next[r]++
+	}
+	return c
+}
+
+// InvertCSR builds the transpose membership index of c: row v of the
+// result lists, in ascending order, every row of c that contains value v.
+// All values of c must lie in [0, numRows).
+func InvertCSR(c *CSR, numRows int) CSR {
+	counts := make([]int32, numRows+1)
+	for _, v := range c.Data {
+		counts[v+1]++
+	}
+	for r := 0; r < numRows; r++ {
+		counts[r+1] += counts[r]
+	}
+	inv := CSR{Off: counts, Data: make([]int32, len(c.Data))}
+	next := make([]int32, numRows)
+	copy(next, inv.Off[:numRows])
+	for i := 0; i < c.Rows(); i++ {
+		for _, v := range c.Row(int32(i)) {
+			inv.Data[next[v]] = int32(i)
+			next[v]++
+		}
+	}
+	return inv
+}

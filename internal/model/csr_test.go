@@ -1,0 +1,57 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNewCSRRoundTrip(t *testing.T) {
+	rows := [][]int32{{3, 1}, {}, {2}, {5, 5, 0}}
+	c := NewCSR(rows)
+	if c.Rows() != len(rows) {
+		t.Fatalf("rows %d want %d", c.Rows(), len(rows))
+	}
+	for i, want := range rows {
+		got := c.Row(int32(i))
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("row %d = %v want %v", i, got, want)
+		}
+		if c.RowLen(int32(i)) != len(want) {
+			t.Fatalf("rowlen %d = %d want %d", i, c.RowLen(int32(i)), len(want))
+		}
+	}
+	var empty CSR
+	if empty.Rows() != 0 {
+		t.Fatalf("zero CSR has %d rows", empty.Rows())
+	}
+}
+
+func TestBucketCSRPreservesOrder(t *testing.T) {
+	// Items 0..5 into buckets by parity: evens to 0, odds to 1.
+	c := BucketCSR(2, 6, func(i int32) int32 { return i % 2 })
+	if got := c.Row(0); !reflect.DeepEqual(got, []int32{0, 2, 4}) {
+		t.Fatalf("bucket 0 = %v", got)
+	}
+	if got := c.Row(1); !reflect.DeepEqual(got, []int32{1, 3, 5}) {
+		t.Fatalf("bucket 1 = %v", got)
+	}
+}
+
+func TestInvertCSRIsTranspose(t *testing.T) {
+	c := NewCSR([][]int32{{0, 2}, {2}, {1, 0}})
+	inv := InvertCSR(&c, 3)
+	want := [][]int32{{0, 2}, {2}, {0, 1}}
+	for v, w := range want {
+		if got := inv.Row(int32(v)); !reflect.DeepEqual(got, w) {
+			t.Fatalf("inv row %d = %v want %v", v, got, w)
+		}
+	}
+	// Membership must be exactly inverted.
+	total := 0
+	for i := 0; i < c.Rows(); i++ {
+		total += c.RowLen(int32(i))
+	}
+	if len(inv.Data) != total {
+		t.Fatalf("inverse has %d entries, want %d", len(inv.Data), total)
+	}
+}

@@ -21,10 +21,10 @@ type Model struct {
 	P     *instance.Problem
 	Insts []instance.Inst
 
-	// Paths[i] lists the global edge ids of instance i's path.
-	Paths [][]int32
-	// Pi[i] is the critical edge set π(d) of instance i (⊆ Paths[i]).
-	Pi [][]int32
+	// Paths row i lists the global edge ids of instance i's path.
+	Paths CSR
+	// Pi row i is the critical edge set π(d) of instance i (⊆ path).
+	Pi CSR
 	// Group[i] is the 1-based layer group (epoch) of instance i.
 	Group     []int32
 	NumGroups int
@@ -32,12 +32,21 @@ type Model struct {
 	Delta int
 
 	// Cap[e] is the capacity of global edge e (all 1 in the paper's core
-	// setting).
-	Cap []float64
+	// setting); MaxCap is its maximum, precomputed for the Capacitated
+	// rule's per-raise objective bound.
+	Cap    []float64
+	MaxCap float64
 
-	// InstsOf[a] lists the instance indices of demand a (possibly empty
-	// for filtered models).
-	InstsOf [][]int32
+	// InstsOf row a lists the instance indices of demand a (possibly
+	// empty for filtered models).
+	InstsOf CSR
+	// GroupInsts row g-1 lists the instances of layer group g, ascending
+	// — the per-epoch bucket Phase1 scans instead of all instances.
+	GroupInsts CSR
+	// EdgeInsts row e lists the instances whose path contains edge e,
+	// ascending — the inverse of Paths. It drives the delta-driven
+	// Phase1 re-evaluation and the edge cliques of the conflict cover.
+	EdgeInsts CSR
 
 	NumDemands int
 	EdgeSpace  int
@@ -55,6 +64,11 @@ type Options struct {
 	// DecompKind selects the tree decomposition (ignored for lines).
 	// Default: KindIdeal.
 	DecompKind treedecomp.Kind
+	// Decomps, when non-nil, reuses prebuilt tree decompositions instead
+	// of rebuilding them — they depend only on the trees and DecompKind,
+	// so sub-model builds (e.g. the §6 wide/narrow split) share the full
+	// model's. Must match p.Trees and DecompKind.
+	Decomps []*treedecomp.Decomposition
 	// Filter, when non-nil, keeps only instances where Filter(inst) is
 	// true (used for the wide/narrow split of §6).
 	Filter func(instance.Inst) bool
@@ -95,8 +109,12 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	var asg *layered.Assignment
 	var err error
 	if p.Kind == instance.KindTree {
-		for _, t := range p.Trees {
-			m.Decomps = append(m.Decomps, treedecomp.Build(t, opts.DecompKind))
+		if opts.Decomps != nil {
+			m.Decomps = opts.Decomps
+		} else {
+			for _, t := range p.Trees {
+				m.Decomps = append(m.Decomps, treedecomp.Build(t, opts.DecompKind))
+			}
 		}
 		if opts.CaptureWingsPi {
 			asg, err = layered.ForTreesCaptureWings(p, insts, m.Decomps)
@@ -112,25 +130,28 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	m.Pi = asg.Pi
+	m.Pi = NewCSR(asg.Pi)
 	m.Group = asg.Group
 	m.NumGroups = asg.NumGroups
 	m.Delta = asg.Delta
 
-	m.Paths = make([][]int32, len(insts))
+	m.Paths = CSR{Off: make([]int32, len(insts)+1)}
 	for i, d := range insts {
-		m.Paths[i] = p.PathEdges(d)
+		m.Paths.Data = append(m.Paths.Data, p.PathEdges(d)...)
+		m.Paths.Off[i+1] = int32(len(m.Paths.Data))
 	}
 
 	m.Cap = make([]float64, m.EdgeSpace)
 	for e := range m.Cap {
 		m.Cap[e] = p.Capacity(int32(e))
+		if m.Cap[e] > m.MaxCap {
+			m.MaxCap = m.Cap[e]
+		}
 	}
 
-	m.InstsOf = make([][]int32, m.NumDemands)
-	for i, d := range insts {
-		m.InstsOf[d.Demand] = append(m.InstsOf[d.Demand], int32(i))
-	}
+	m.InstsOf = BucketCSR(m.NumDemands, len(insts), func(i int32) int32 {
+		return insts[i].Demand
+	})
 
 	for i, d := range insts {
 		if i == 0 || d.Profit < m.PMin {
@@ -146,24 +167,35 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	if err := m.check(); err != nil {
 		return nil, err
 	}
+	// The derived indexes are built after check so their bucket functions
+	// only see validated groups and edge ids.
+	m.GroupInsts = BucketCSR(m.NumGroups, len(insts), func(i int32) int32 {
+		return m.Group[i] - 1
+	})
+	m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace)
 	return m, nil
 }
 
-// check validates internal consistency (π ⊆ path, groups in range).
+// check validates internal consistency (π ⊆ path, groups in range). The
+// path-membership test uses one reusable seen-stamp slice — stamping edge
+// e with instance i marks "e on path(i)" without a per-instance map.
 func (m *Model) check() error {
+	seen := make([]int32, m.EdgeSpace)
+	for e := range seen {
+		seen[e] = -1
+	}
 	for i := range m.Insts {
 		if m.Group[i] < 1 || int(m.Group[i]) > m.NumGroups {
 			return fmt.Errorf("model: instance %d group %d outside 1..%d", i, m.Group[i], m.NumGroups)
 		}
-		onPath := map[int32]bool{}
-		for _, e := range m.Paths[i] {
+		for _, e := range m.Paths.Row(int32(i)) {
 			if e < 0 || int(e) >= m.EdgeSpace {
 				return fmt.Errorf("model: instance %d path edge %d outside edge space %d", i, e, m.EdgeSpace)
 			}
-			onPath[e] = true
+			seen[e] = int32(i)
 		}
-		for _, e := range m.Pi[i] {
-			if !onPath[e] {
+		for _, e := range m.Pi.Row(int32(i)) {
+			if e < 0 || int(e) >= m.EdgeSpace || seen[e] != int32(i) {
 				return fmt.Errorf("model: instance %d critical edge %d not on its path", i, e)
 			}
 		}
@@ -192,7 +224,7 @@ func (m *Model) TotalProfit(sel []int32) float64 {
 func (m *Model) EffHeight(i int32) float64 {
 	h := m.Insts[i].Height
 	max := 0.0
-	for _, e := range m.Paths[i] {
+	for _, e := range m.Paths.Row(i) {
 		if v := h / m.Cap[e]; v > max {
 			max = v
 		}

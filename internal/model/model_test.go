@@ -29,7 +29,8 @@ func TestBuildTreeModel(t *testing.T) {
 		t.Fatalf("edge space %d", m.EdgeSpace)
 	}
 	total := 0
-	for a, insts := range m.InstsOf {
+	for a := 0; a < m.InstsOf.Rows(); a++ {
+		insts := m.InstsOf.Row(int32(a))
 		total += len(insts)
 		for _, i := range insts {
 			if int(m.Insts[i].Demand) != a {
@@ -56,7 +57,7 @@ func TestBuildLineModel(t *testing.T) {
 		t.Fatalf("line ∆=%d > 3", m.Delta)
 	}
 	for i := range m.Insts {
-		if len(m.Paths[i]) != int(m.Insts[i].Len()) {
+		if m.Paths.RowLen(int32(i)) != int(m.Insts[i].Len()) {
 			t.Fatal("line path length mismatch")
 		}
 	}
