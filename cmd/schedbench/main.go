@@ -7,6 +7,7 @@
 //	schedbench [-e all|E1|E2|...|E12] [-trials N] [-quick] [-seed S] [-o file]
 //	schedbench -service [-quick] [-o BENCH_service.json]
 //	schedbench -core [-quick] [-o BENCH_core.json | -check BENCH_core.json]
+//	schedbench -online [-quick] [-o BENCH_online.json | -check BENCH_online.json]
 //
 // The -service mode benchmarks the serving layer (internal/service)
 // instead: requests/sec for cold, compiled-cache-warm and
@@ -14,7 +15,9 @@
 // benchmarks the solver itself — ns/solve and allocs/solve per
 // scenario×algorithm, cold (fresh compile) and warm (compiled reuse) —
 // and with -check fails on a >25% cold-path regression against the
-// checked-in baseline.
+// checked-in baseline. The -online mode benchmarks the dynamic-session
+// path: delta re-solve (core.Compiled.WithJobs) vs cold compile+solve
+// per scenario × churn rate, gating the speedups with -check.
 package main
 
 import (
@@ -35,7 +38,8 @@ func main() {
 		out     = flag.String("o", "", "write output to file instead of stdout")
 		service = flag.Bool("service", false, "benchmark the serving layer instead of E1-E12")
 		coreRun = flag.Bool("core", false, "benchmark the solver cold path instead of E1-E12")
-		check   = flag.String("check", "", "with -core: compare against a BENCH_core.json baseline and fail on regression")
+		online  = flag.Bool("online", false, "benchmark delta re-solve vs cold solve instead of E1-E12")
+		check   = flag.String("check", "", "with -core/-online: compare against the named baseline and fail on regression")
 	)
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 	}
 	if *coreRun {
 		runCoreBaseline(*out, *check, *quick)
+		return
+	}
+	if *online {
+		runOnlineBaseline(*out, *check, *quick)
 		return
 	}
 

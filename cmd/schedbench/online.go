@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treesched/internal/bench"
+)
+
+// runOnlineBaseline is the `-online` mode: measure delta re-solve vs
+// cold compile+solve per scenario × churn rate (see
+// internal/bench.OnlineBench) and either write the BENCH_online.json
+// report or, with -check, compare against a checked-in baseline and exit
+// non-zero when the delta-recompilation advantage regressed (>25% on the
+// hardware-independent allocation-count speedups, or a catastrophic
+// wall-clock speedup collapse — see bench.CheckOnline).
+func runOnlineBaseline(out, check string, quick bool) {
+	report, err := bench.OnlineBench(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+
+	if check != "" {
+		raw, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		var baseline bench.OnlineReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: parsing %s: %v\n", check, err)
+			os.Exit(1)
+		}
+		if err := bench.CheckOnline(report, &baseline, 0.25); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedbench: delta-recompile speedups within bounds of %s across %d cells\n",
+			check, len(report.Entries))
+		return
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,14 @@
 //	               [-eps 0.25] [-seed 1] [-o result.json] < problem.json
 //	schedtool verify -solution sol.json < problem.json
 //	schedtool scenarios
+//	schedtool trace  -scenario videowall-line [-seed 1] [-churn 0.1]
+//	               [-batches 20] [-o trace.ndjson]
+//	               (deterministic arrival/departure event stream for the
+//	               online-session subsystem)
+//	schedtool replay -trace trace.ndjson [-o outcomes.ndjson] [-q]
+//	               (drive a trace through a dynamic session with delta
+//	               recompilation; deterministic outcome NDJSON on stdout,
+//	               per-event latency summary on stderr)
 //
 // Exit codes: 0 success, 1 operational error, 2 usage error,
 // 3 infeasible solution (solve self-check or verify failure) — so the
@@ -52,13 +60,17 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "scenarios":
 		cmdScenarios()
+	case "trace":
+		cmdTrace(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: schedtool gen|solve|verify|stats|scenarios [flags]")
+	fmt.Fprintln(os.Stderr, "usage: schedtool gen|solve|verify|stats|scenarios|trace|replay [flags]")
 	os.Exit(2)
 }
 

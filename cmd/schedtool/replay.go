@@ -1,0 +1,173 @@
+package main
+
+// The trace/replay subcommands of the online-session subsystem:
+//
+//	schedtool trace  -scenario videowall-line [-seed 1] [-churn 0.1]
+//	                 [-batches 20] [-initial 0.5] [-algo name] [-o trace.ndjson]
+//	schedtool replay -trace trace.ndjson [-o outcomes.ndjson]
+//
+// `trace` generates a deterministic arrival/departure event stream from
+// a scenario preset. `replay` drives the stream through an
+// internal/online session (delta recompilation per resolve), writes one
+// deterministic NDJSON outcome line per event — replaying the same trace
+// twice yields byte-identical output — and reports per-event latency
+// percentiles on stderr (latency never enters the NDJSON, which would
+// break determinism).
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"treesched/internal/online"
+	"treesched/internal/online/trace"
+)
+
+func cmdTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	scen := fs.String("scenario", "", "scenario preset supplying the network and job pool (required)")
+	seed := fs.Int64("seed", 1, "generation seed")
+	churn := fs.Float64("churn", 0.1, "fraction of live jobs swapped per batch")
+	batches := fs.Int("batches", 20, "churn-and-resolve batches after the initial resolve")
+	initial := fs.Float64("initial", 0.5, "fraction of the pool live at the first resolve")
+	algo := fs.String("algo", "", "override the preset's default algorithm")
+	out := fs.String("o", "", "write the trace to a file instead of stdout")
+	fs.Parse(args)
+	if *scen == "" {
+		die(fmt.Errorf("trace: -scenario is required (see `schedtool scenarios`)"))
+	}
+	// Validate here rather than relying on Config's zero-means-default:
+	// an explicit `-churn 0` must error, not silently become 0.1.
+	if *churn <= 0 || *churn > 1 {
+		die(fmt.Errorf("trace: -churn %g outside (0,1] (each batch swaps at least one job; zero churn is unrepresentable)", *churn))
+	}
+	tr, err := trace.FromScenario(trace.Config{
+		Scenario:    *scen,
+		Seed:        *seed,
+		Churn:       *churn,
+		Batches:     *batches,
+		InitialFrac: *initial,
+		Algo:        *algo,
+	})
+	if err != nil {
+		die(err)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		die(err)
+	}
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("trace", "", "trace NDJSON file (required; - for stdin)")
+	out := fs.String("o", "", "write outcome NDJSON to a file instead of stdout")
+	quiet := fs.Bool("q", false, "suppress the latency summary on stderr")
+	fs.Parse(args)
+	if *in == "" {
+		die(fmt.Errorf("replay: -trace is required"))
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := trace.Read(r)
+	if err != nil {
+		die(err)
+	}
+
+	outcomes, sess, err := trace.Replay(tr)
+	if err != nil {
+		die(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i := range outcomes {
+		if err := enc.Encode(&outcomes[i]); err != nil {
+			die(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		die(err)
+	}
+
+	if !*quiet {
+		reportLatency(os.Stderr, tr, outcomes, sess)
+	}
+}
+
+// reportLatency summarizes per-event latency by operation class: the
+// interesting split is cheap staging events (add/remove) vs resolve
+// events, and within resolves, delta-path vs full recompiles.
+func reportLatency(w io.Writer, tr *trace.Trace, outcomes []trace.Outcome, sess *online.Session) {
+	classes := map[string][]int64{}
+	for _, o := range outcomes {
+		key := o.Op
+		if o.Op == "resolve" {
+			if o.Incremental {
+				key = "resolve(delta)"
+			} else {
+				key = "resolve(full)"
+			}
+		}
+		classes[key] = append(classes[key], o.LatencyNS)
+	}
+	names := make([]string, 0, len(classes))
+	for n := range classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	st := sess.Stats()
+	fmt.Fprintf(w, "replay: %s algo=%s events=%d jobs(final)=%d resolves=%d (delta=%d full=%d cached=%d)\n",
+		tr.Header.Name, tr.Header.Algo, len(outcomes), st.Jobs,
+		st.Resolves, st.IncrementalResolves, st.FullResolves, st.CachedResolves)
+	for _, n := range names {
+		lat := classes[n]
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		sum := int64(0)
+		for _, v := range lat {
+			sum += v
+		}
+		q := func(p float64) int64 { return lat[int(p*float64(len(lat)-1))] }
+		fmt.Fprintf(w, "  %-14s n=%-4d mean=%8.1fµs  p50=%8.1fµs  p95=%8.1fµs  max=%8.1fµs\n",
+			n, len(lat), float64(sum)/float64(len(lat))/1e3,
+			float64(q(0.50))/1e3, float64(q(0.95))/1e3, float64(lat[len(lat)-1])/1e3)
+	}
+}

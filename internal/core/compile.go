@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"treesched/internal/instance"
 	"treesched/internal/lp"
@@ -56,9 +57,10 @@ func (sm *solverModel) release(sc *solveScratch) { sm.pool.Put(sc) }
 // too — they are deterministic properties of the problem, so retrying
 // cannot succeed.
 type lazyModel struct {
-	once sync.Once
-	sm   *solverModel
-	err  error
+	once  sync.Once
+	ready atomic.Bool
+	sm    *solverModel
+	err   error
 }
 
 func (l *lazyModel) get(build func() (*model.Model, error)) (*solverModel, error) {
@@ -69,8 +71,28 @@ func (l *lazyModel) get(build func() (*model.Model, error)) (*solverModel, error
 			return
 		}
 		l.sm = &solverModel{m: m}
+		l.ready.Store(true)
 	})
 	return l.sm, l.err
+}
+
+// peek returns the solver model if it has been built, nil otherwise —
+// without triggering a build. The atomic publish in get/preset makes the
+// read safe against a concurrent first build.
+func (l *lazyModel) peek() *solverModel {
+	if !l.ready.Load() {
+		return nil
+	}
+	return l.sm
+}
+
+// preset installs an externally built solver model (the delta
+// recompilation path), consuming the once so later get calls return it.
+func (l *lazyModel) preset(sm *solverModel) {
+	l.once.Do(func() {
+		l.sm = sm
+		l.ready.Store(true)
+	})
 }
 
 // Compiled is the reusable compiled form of one problem under one tree
@@ -90,10 +112,27 @@ type Compiled struct {
 	seqLine lazyModel // end-slot π singleton, ∆=1
 
 	// The §6 wide/narrow split shares one classification pass, so the
-	// two sub-models initialize together.
+	// two sub-models initialize together. splitReady publishes the built
+	// split for race-free peeking (scratch migration in WithJobs).
 	splitOnce    sync.Once
+	splitReady   atomic.Bool
 	wide, narrow *solverModel
 	splitErr     error
+
+	// Delta-recompilation state (WithJobs). decompsHint/seqDecompsHint
+	// carry prebuilt tree decompositions across generations so even the
+	// churn-threshold fallback never rebuilds them; churn overrides the
+	// fallback threshold (0 = DefaultChurnThreshold); incremental records
+	// whether this Compiled was produced by the delta path.
+	decompsHint    []*treedecomp.Decomposition
+	seqDecompsHint []*treedecomp.Decomposition
+	churn          float64
+	incremental    bool
+
+	// adoptWide/adoptNarrow hold solver scratches migrated from the
+	// parent generation's wide/narrow sub-models, consumed (under
+	// splitOnce) when this generation builds its own split.
+	adoptWide, adoptNarrow *solveScratch
 }
 
 // Compile validates p and prepares it for repeated solving. decomp
@@ -109,10 +148,11 @@ func Compile(p *instance.Problem, decomp treedecomp.Kind) (*Compiled, error) {
 // Problem returns the problem this compilation is bound to.
 func (c *Compiled) Problem() *instance.Problem { return c.p }
 
-// fullModel lazily builds the full model (all instances).
+// fullModel lazily builds the full model (all instances), reusing
+// prebuilt tree decompositions when a previous generation supplies them.
 func (c *Compiled) fullModel() (*solverModel, error) {
 	return c.full.get(func() (*model.Model, error) {
-		return model.Build(c.p, model.Options{DecompKind: c.decomp})
+		return model.Build(c.p, model.Options{DecompKind: c.decomp, Decomps: c.decompsHint})
 	})
 }
 
@@ -141,39 +181,47 @@ func (c *Compiled) splitModels() (wide, narrow *solverModel, err error) {
 				wideDemand[full.Insts[i].Demand] = true
 			}
 		}
-		// The sub-models reuse the full model's tree decompositions: they
-		// depend only on the trees and the decomposition kind, both fixed
-		// at Compile time.
-		wm, err := model.Build(c.p, model.Options{
-			DecompKind: c.decomp,
-			Decomps:    full.Decomps,
-			Filter:     func(d instance.Inst) bool { return wideDemand[d.Demand] },
-		})
+		// The sub-models are row copies of the full model: the layered
+		// rows are per-instance functions, so filtering by copying (no
+		// tree walks, no path rebuilds) produces the model a filtered
+		// Build would — see model.FilterCopy.
+		wm, err := full.FilterCopy(func(d instance.Inst) bool { return wideDemand[d.Demand] })
 		if err != nil {
 			c.splitErr = err
 			return
 		}
-		nm, err := model.Build(c.p, model.Options{
-			DecompKind: c.decomp,
-			Decomps:    full.Decomps,
-			Filter:     func(d instance.Inst) bool { return !wideDemand[d.Demand] },
-		})
+		nm, err := full.FilterCopy(func(d instance.Inst) bool { return !wideDemand[d.Demand] })
 		if err != nil {
 			c.splitErr = err
 			return
 		}
 		c.wide, c.narrow = &solverModel{m: wm}, &solverModel{m: nm}
+		// Delta generations migrate the parent's sub-model scratches so
+		// the first re-solve of each class allocates like a warm solve.
+		if c.adoptWide != nil {
+			c.adoptWide.adapt(wm)
+			c.wide.pool.Put(c.adoptWide)
+			c.adoptWide = nil
+		}
+		if c.adoptNarrow != nil {
+			c.adoptNarrow.adapt(nm)
+			c.narrow.pool.Put(c.adoptNarrow)
+			c.adoptNarrow = nil
+		}
+		c.splitReady.Store(true)
 	})
 	return c.wide, c.narrow, c.splitErr
 }
 
 // sequentialModel lazily builds the Appendix-A model: root-fixing
-// decompositions and capture-wing critical sets (∆ ≤ 2).
+// decompositions and capture-wing critical sets (∆ ≤ 2). A delta
+// generation reuses the parent's root-fixing decompositions.
 func (c *Compiled) sequentialModel() (*solverModel, error) {
 	return c.seqTree.get(func() (*model.Model, error) {
 		return model.Build(c.p, model.Options{
 			DecompKind:     treedecomp.KindRootFixing,
 			CaptureWingsPi: true,
+			Decomps:        c.seqDecompsHint,
 		})
 	})
 }
@@ -200,6 +248,152 @@ func (c *Compiled) sequentialLineModel() (*solverModel, error) {
 		m.Delta = 1
 		return m, nil
 	})
+}
+
+// DefaultChurnThreshold is the fraction of the demand set that may
+// change in one WithJobs delta before the incremental rebuild is
+// abandoned for a full recompile: past it the copy bookkeeping
+// approaches the cost of computing every row afresh, and a full Build
+// (still reusing the tree decompositions) is simpler and no slower.
+const DefaultChurnThreshold = 0.5
+
+// SetChurnThreshold overrides the WithJobs fallback threshold for this
+// compilation and every generation derived from it (0 restores the
+// default). Not safe to call concurrently with WithJobs.
+func (c *Compiled) SetChurnThreshold(t float64) { c.churn = t }
+
+// Incremental reports whether this Compiled was produced by the WithJobs
+// delta path (false for fresh compiles and churn-threshold fallbacks) —
+// the observability hook for session metrics and the online benchmark.
+func (c *Compiled) Incremental() bool { return c.incremental }
+
+// seqHint returns the best available root-fixing decompositions to carry
+// into the next generation.
+func (c *Compiled) seqHint() []*treedecomp.Decomposition {
+	if sm := c.seqTree.peek(); sm != nil {
+		return sm.m.Decomps
+	}
+	return c.seqDecompsHint
+}
+
+// WithJobs returns the compilation of the problem obtained by removing
+// the demands whose current ids are listed in removed and appending the
+// added demands (ids are reassigned; survivors keep their relative order
+// and are renumbered densely, then added demands follow in input order).
+// The networks — trees or timeline, and their capacities — are fixed for
+// the lifetime of a session; only the demand set changes.
+//
+// When the full model of c has been built and the delta is below the
+// churn threshold, the new model is rebuilt incrementally
+// (model.WithDelta): rows of surviving demands are copied, only added
+// demands pay tree walks and path materialization, the conflict clique
+// cover is repacked from the rebuilt indexes, and a pooled solver
+// scratch migrates from c so the re-solve allocates like a warm solve.
+// Past the threshold — or when c was never solved — it falls back to a
+// full recompile that still reuses the tree decompositions. Either way
+// the result is indistinguishable from Compile on the effective problem:
+// the equivalence suite asserts byte-identical solver output.
+func (c *Compiled) WithJobs(added []instance.Demand, removed []int) (*Compiled, error) {
+	old := len(c.p.Demands)
+	rm := make([]bool, old)
+	for _, id := range removed {
+		if id < 0 || id >= old {
+			return nil, fmt.Errorf("core: WithJobs: removed demand %d outside 0..%d", id, old-1)
+		}
+		if rm[id] {
+			return nil, fmt.Errorf("core: WithJobs: demand %d removed twice", id)
+		}
+		rm[id] = true
+	}
+
+	demands := make([]instance.Demand, 0, old-len(removed)+len(added))
+	oldOf := make([]int32, 0, old-len(removed)+len(added))
+	for i, d := range c.p.Demands {
+		if rm[i] {
+			continue
+		}
+		d.ID = len(demands)
+		demands = append(demands, d)
+		oldOf = append(oldOf, int32(i))
+	}
+	for _, d := range added {
+		d.ID = len(demands)
+		demands = append(demands, d)
+		oldOf = append(oldOf, -1)
+	}
+	np := &instance.Problem{
+		Kind:         c.p.Kind,
+		Trees:        c.p.Trees,
+		NumVertices:  c.p.NumVertices,
+		NumSlots:     c.p.NumSlots,
+		NumResources: c.p.NumResources,
+		Capacities:   c.p.Capacities,
+		Demands:      demands,
+	}
+
+	threshold := c.churn
+	if threshold == 0 {
+		threshold = DefaultChurnThreshold
+	}
+	base := old
+	if base < 1 {
+		base = 1
+	}
+	parent := c.full.peek()
+
+	if parent == nil || float64(len(added)+len(removed)) > threshold*float64(base) {
+		// Full recompile: either there is no model to delta from, or the
+		// churn makes copying pointless. Tree decompositions still carry
+		// over (they depend only on the fixed networks).
+		nc, err := Compile(np, c.decomp)
+		if err != nil {
+			return nil, err
+		}
+		nc.churn = c.churn
+		nc.seqDecompsHint = c.seqHint()
+		if parent != nil {
+			nc.decompsHint = parent.m.Decomps
+		} else {
+			nc.decompsHint = c.decompsHint
+		}
+		return nc, nil
+	}
+
+	nm, err := parent.m.WithDelta(np, oldOf)
+	if err != nil {
+		return nil, err
+	}
+	nc := &Compiled{
+		p:              np,
+		decomp:         c.decomp,
+		churn:          c.churn,
+		incremental:    true,
+		decompsHint:    nm.Decomps,
+		seqDecompsHint: c.seqHint(),
+	}
+	sm := &solverModel{m: nm}
+	// Scratch adoption: hand one of the parent's pooled scratches to the
+	// child so the first re-solve reuses warm buffers instead of
+	// reallocating them. The parent is typically discarded after a delta,
+	// so this steals nothing that would be missed.
+	if v := parent.pool.Get(); v != nil {
+		sc := v.(*solveScratch)
+		sc.adapt(nm)
+		sm.pool.Put(sc)
+	}
+	// The split sub-models (Arbitrary) pool their own scratches; migrate
+	// one of each if the parent ever built its split (splitReady makes
+	// the peek race-free against a concurrent first split build).
+	if c.splitReady.Load() {
+		if v := c.wide.pool.Get(); v != nil {
+			nc.adoptWide = v.(*solveScratch)
+		}
+		if v := c.narrow.pool.Get(); v != nil {
+			nc.adoptNarrow = v.(*solveScratch)
+		}
+	}
+	nc.full.preset(sm)
+	return nc, nil
 }
 
 // effHMin returns the minimum effective height over a model's instances,

@@ -251,6 +251,33 @@ func newSolveScratch(m *model.Model, numCliques int) *solveScratch {
 	}
 }
 
+// grow returns s resized to length n, reusing its backing array when the
+// capacity suffices. Contents are unspecified — every solveScratch field
+// is cleared by reset or by its consuming phase before use.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// adapt resizes a scratch pooled for one model so it serves another —
+// the delta-recompilation path hands the parent compilation's scratch to
+// the child, so a small-churn re-solve keeps its warm allocation profile
+// even though every dimension (instances, demands, cliques) may have
+// shifted slightly. The Luby scratch resizes itself per call.
+func (sc *solveScratch) adapt(m *model.Model) {
+	n := len(m.Insts)
+	sc.duals.Alpha = grow(sc.duals.Alpha, m.NumDemands)
+	sc.duals.Beta = grow(sc.duals.Beta, m.EdgeSpace)
+	sc.active = grow(sc.active, n)
+	sc.stamp = grow(sc.stamp, n)
+	sc.lhs = grow(sc.lhs, n)
+	sc.dirty = grow(sc.dirty, n)
+	sc.load = grow(sc.load, m.EdgeSpace)
+	sc.used = grow(sc.used, m.NumDemands)
+}
+
 // reset prepares the scratch for a fresh Phase1 (phase2 clears its own
 // buffers). active is all-false whenever a stage loop terminates
 // normally; it is cleared anyway so a pooled scratch recovers from an

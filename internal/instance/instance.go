@@ -158,48 +158,59 @@ func (p *Problem) Validate() error {
 			}
 		}
 	}
-	r := p.NumNetworks()
 	for i, d := range p.Demands {
 		if d.ID != i {
 			return fmt.Errorf("instance: demand %d has ID %d (IDs must be 0..m-1 in order)", i, d.ID)
 		}
-		if d.Profit <= 0 {
-			return fmt.Errorf("instance: demand %d has non-positive profit %g", i, d.Profit)
+		if err := p.ValidateDemand(i, d); err != nil {
+			return err
 		}
-		if d.Height <= 0 || d.Height > 1 {
-			return fmt.Errorf("instance: demand %d has height %g outside (0,1]", i, d.Height)
+	}
+	return nil
+}
+
+// ValidateDemand checks one demand against the problem's networks (i
+// names the demand in error messages). Validate applies it to every
+// demand; incremental rebuilds apply it to newly added demands only,
+// since removal and renumbering cannot invalidate a surviving demand.
+func (p *Problem) ValidateDemand(i int, d Demand) error {
+	r := p.NumNetworks()
+	if d.Profit <= 0 {
+		return fmt.Errorf("instance: demand %d has non-positive profit %g", i, d.Profit)
+	}
+	if d.Height <= 0 || d.Height > 1 {
+		return fmt.Errorf("instance: demand %d has height %g outside (0,1]", i, d.Height)
+	}
+	if len(d.Access) == 0 {
+		return fmt.Errorf("instance: demand %d has empty access set", i)
+	}
+	seen := map[int]bool{}
+	for _, q := range d.Access {
+		if q < 0 || q >= r {
+			return fmt.Errorf("instance: demand %d accesses network %d of %d", i, q, r)
 		}
-		if len(d.Access) == 0 {
-			return fmt.Errorf("instance: demand %d has empty access set", i)
+		if seen[q] {
+			return fmt.Errorf("instance: demand %d lists network %d twice", i, q)
 		}
-		seen := map[int]bool{}
-		for _, q := range d.Access {
-			if q < 0 || q >= r {
-				return fmt.Errorf("instance: demand %d accesses network %d of %d", i, q, r)
-			}
-			if seen[q] {
-				return fmt.Errorf("instance: demand %d lists network %d twice", i, q)
-			}
-			seen[q] = true
+		seen[q] = true
+	}
+	switch p.Kind {
+	case KindTree:
+		if d.U < 0 || d.U >= p.NumVertices || d.V < 0 || d.V >= p.NumVertices {
+			return fmt.Errorf("instance: demand %d endpoints (%d,%d) out of range", i, d.U, d.V)
 		}
-		switch p.Kind {
-		case KindTree:
-			if d.U < 0 || d.U >= p.NumVertices || d.V < 0 || d.V >= p.NumVertices {
-				return fmt.Errorf("instance: demand %d endpoints (%d,%d) out of range", i, d.U, d.V)
-			}
-			if d.U == d.V {
-				return fmt.Errorf("instance: demand %d has equal endpoints", i)
-			}
-		case KindLine:
-			if d.ProcTime <= 0 {
-				return fmt.Errorf("instance: demand %d has non-positive processing time", i)
-			}
-			if d.Release < 0 || d.Deadline >= p.NumSlots || d.Release > d.Deadline {
-				return fmt.Errorf("instance: demand %d window [%d,%d] invalid for %d slots", i, d.Release, d.Deadline, p.NumSlots)
-			}
-			if d.Deadline-d.Release+1 < d.ProcTime {
-				return fmt.Errorf("instance: demand %d window shorter than processing time", i)
-			}
+		if d.U == d.V {
+			return fmt.Errorf("instance: demand %d has equal endpoints", i)
+		}
+	case KindLine:
+		if d.ProcTime <= 0 {
+			return fmt.Errorf("instance: demand %d has non-positive processing time", i)
+		}
+		if d.Release < 0 || d.Deadline >= p.NumSlots || d.Release > d.Deadline {
+			return fmt.Errorf("instance: demand %d window [%d,%d] invalid for %d slots", i, d.Release, d.Deadline, p.NumSlots)
+		}
+		if d.Deadline-d.Release+1 < d.ProcTime {
+			return fmt.Errorf("instance: demand %d window shorter than processing time", i)
 		}
 	}
 	return nil
@@ -225,26 +236,35 @@ func (d Inst) Len() int32 { return d.V - d.U + 1 }
 // order: by demand, then by access-list order, then (lines) by start slot.
 func (p *Problem) Expand() []Inst {
 	var out []Inst
-	id := int32(0)
 	for _, d := range p.Demands {
-		for _, q := range d.Access {
-			switch p.Kind {
-			case KindTree:
+		out = p.ExpandDemand(out, d)
+	}
+	return out
+}
+
+// ExpandDemand appends the instances of one demand to out in the
+// canonical order (access-list order, then start slot for lines),
+// numbering them consecutively from len(out). Expand is the whole-problem
+// form; incremental rebuilds expand only the newly added demands.
+func (p *Problem) ExpandDemand(out []Inst, d Demand) []Inst {
+	id := int32(len(out))
+	for _, q := range d.Access {
+		switch p.Kind {
+		case KindTree:
+			out = append(out, Inst{
+				ID: id, Demand: int32(d.ID), Net: int32(q),
+				U: int32(d.U), V: int32(d.V),
+				Profit: d.Profit, Height: d.Height,
+			})
+			id++
+		case KindLine:
+			for s := d.Release; s+d.ProcTime-1 <= d.Deadline; s++ {
 				out = append(out, Inst{
 					ID: id, Demand: int32(d.ID), Net: int32(q),
-					U: int32(d.U), V: int32(d.V),
+					U: int32(s), V: int32(s + d.ProcTime - 1),
 					Profit: d.Profit, Height: d.Height,
 				})
 				id++
-			case KindLine:
-				for s := d.Release; s+d.ProcTime-1 <= d.Deadline; s++ {
-					out = append(out, Inst{
-						ID: id, Demand: int32(d.ID), Net: int32(q),
-						U: int32(s), V: int32(s + d.ProcTime - 1),
-						Profit: d.Profit, Height: d.Height,
-					})
-					id++
-				}
 			}
 		}
 	}

@@ -63,23 +63,10 @@ func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.
 		Pi:    make([][]int32, len(insts)),
 	}
 	for i, d := range insts {
-		dec := decomps[d.Net]
-		z := dec.Capture(int(d.U), int(d.V))
-		// Deepest captures go first: group = ℓ_q − depth(z) + 1.
-		g := int32(dec.MaxDepth() - dec.Depth(z) + 1)
+		g, pi := TreeRow(p, d, decomps[d.Net], wingsOnly)
 		a.Group[i] = g
 		if int(g) > a.NumGroups {
 			a.NumGroups = int(g)
-		}
-		var local []graph.EdgeID
-		if wingsOnly {
-			local = p.Trees[d.Net].Wings(int(d.U), int(d.V), z)
-		} else {
-			local = dec.CriticalEdges(int(d.U), int(d.V))
-		}
-		pi := make([]int32, len(local))
-		for k, e := range local {
-			pi[k] = p.GlobalEdge(int(d.Net), e)
 		}
 		a.Pi[i] = pi
 		if len(pi) > a.Delta {
@@ -87,6 +74,28 @@ func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.
 		}
 	}
 	return a, nil
+}
+
+// TreeRow computes the layered row of one tree instance: its group
+// (1-based epoch) and critical edge set π(d) as global edge ids. The row
+// is a pure function of (instance, decomposition), which is what makes
+// incremental model rebuilds possible: an unchanged instance keeps its
+// row verbatim. wingsOnly selects the Appendix-A critical sets.
+func TreeRow(p *instance.Problem, d instance.Inst, dec *treedecomp.Decomposition, wingsOnly bool) (int32, []int32) {
+	z := dec.Capture(int(d.U), int(d.V))
+	// Deepest captures go first: group = ℓ_q − depth(z) + 1.
+	g := int32(dec.MaxDepth() - dec.Depth(z) + 1)
+	var local []graph.EdgeID
+	if wingsOnly {
+		local = p.Trees[d.Net].Wings(int(d.U), int(d.V), z)
+	} else {
+		local = dec.CriticalEdges(int(d.U), int(d.V))
+	}
+	pi := make([]int32, len(local))
+	for k, e := range local {
+		pi[k] = p.GlobalEdge(int(d.Net), e)
+	}
+	return g, pi
 }
 
 // ForLines builds the §7 length-doubling layered decomposition for a line
@@ -100,33 +109,55 @@ func ForLines(p *instance.Problem, insts []instance.Inst) (*Assignment, error) {
 		Group: make([]int32, len(insts)),
 		Pi:    make([][]int32, len(insts)),
 	}
-	lmin := int32(0)
+	lmin := LineLmin(insts)
 	for i, d := range insts {
-		if l := d.Len(); i == 0 || l < lmin {
-			lmin = l
-		}
-	}
-	for i, d := range insts {
-		// group = ⌊log2(len/Lmin)⌋ + 1.
-		g := int32(bits.Len32(uint32(d.Len() / lmin)))
+		g := LineGroup(d.Len(), lmin)
 		a.Group[i] = g
 		if int(g) > a.NumGroups {
 			a.NumGroups = int(g)
 		}
-		mid := (d.U + d.V) / 2
-		pi := []int32{p.GlobalEdge(int(d.Net), d.U)}
-		if mid != d.U {
-			pi = append(pi, p.GlobalEdge(int(d.Net), mid))
-		}
-		if d.V != d.U && d.V != mid {
-			pi = append(pi, p.GlobalEdge(int(d.Net), d.V))
-		}
+		pi := LinePi(p, d)
 		a.Pi[i] = pi
 		if len(pi) > a.Delta {
 			a.Delta = len(pi)
 		}
 	}
 	return a, nil
+}
+
+// LineLmin returns Lmin, the minimum instance length, the anchor of the
+// length-doubling groups. Zero for an empty instance set.
+func LineLmin(insts []instance.Inst) int32 {
+	lmin := int32(0)
+	for i, d := range insts {
+		if l := d.Len(); i == 0 || l < lmin {
+			lmin = l
+		}
+	}
+	return lmin
+}
+
+// LineGroup returns the length-doubling group of an instance of length l:
+// ⌊log2(l/Lmin)⌋ + 1. Unlike the tree groups it depends on the global
+// Lmin, so an incremental rebuild recomputes every line group whenever
+// the instance set changes (an O(n) integer pass).
+func LineGroup(l, lmin int32) int32 {
+	return int32(bits.Len32(uint32(l / lmin)))
+}
+
+// LinePi returns the §7 critical set of one line instance: its start, mid
+// and end timeslots as global edge ids (deduplicated for short
+// instances). A pure per-instance function, like TreeRow.
+func LinePi(p *instance.Problem, d instance.Inst) []int32 {
+	mid := (d.U + d.V) / 2
+	pi := []int32{p.GlobalEdge(int(d.Net), d.U)}
+	if mid != d.U {
+		pi = append(pi, p.GlobalEdge(int(d.Net), mid))
+	}
+	if d.V != d.U && d.V != mid {
+		pi = append(pi, p.GlobalEdge(int(d.Net), d.V))
+	}
+	return pi
 }
 
 // Verify brute-force checks the layering property over all instance pairs:

@@ -57,6 +57,14 @@ type Model struct {
 	// Decomps holds the tree decompositions used (nil for line problems),
 	// exposed for experiments.
 	Decomps []*treedecomp.Decomposition
+
+	// captureWings records Options.CaptureWingsPi and filtered records a
+	// non-nil Options.Filter (or a FilterCopy). WithDelta requires a full
+	// model — neither flag set — because it copies rows for surviving
+	// demands assuming the Lemma 4.2 critical sets over the complete
+	// expansion.
+	captureWings bool
+	filtered     bool
 }
 
 // Options configures compilation.
@@ -100,10 +108,12 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	}
 
 	m := &Model{
-		P:          p,
-		Insts:      insts,
-		NumDemands: len(p.Demands),
-		EdgeSpace:  p.EdgeSpace(),
+		P:            p,
+		Insts:        insts,
+		NumDemands:   len(p.Demands),
+		EdgeSpace:    p.EdgeSpace(),
+		captureWings: opts.CaptureWingsPi,
+		filtered:     opts.Filter != nil,
 	}
 
 	var asg *layered.Assignment
@@ -132,8 +142,6 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	}
 	m.Pi = NewCSR(asg.Pi)
 	m.Group = asg.Group
-	m.NumGroups = asg.NumGroups
-	m.Delta = asg.Delta
 
 	m.Paths = CSR{Off: make([]int32, len(insts)+1)}
 	for i, d := range insts {
@@ -149,11 +157,48 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 		}
 	}
 
-	m.InstsOf = BucketCSR(m.NumDemands, len(insts), func(i int32) int32 {
-		return insts[i].Demand
-	})
+	if err := m.finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
 
-	for i, d := range insts {
+// finalize computes everything derivable from a model whose Insts, Paths,
+// Pi, Group and Cap are in place: the Delta and NumGroups scalars, the
+// profit/height ranges, the internal consistency check, and the
+// InstsOf/GroupInsts/EdgeInsts indexes. Build and the incremental
+// rebuilds (WithDelta, FilterCopy) share it, so a delta-built model's
+// derived state is computed by the exact code a fresh Build runs.
+func (m *Model) finalize() error {
+	m.deriveScalars()
+	m.InstsOf = BucketCSR(m.NumDemands, len(m.Insts), func(i int32) int32 {
+		return m.Insts[i].Demand
+	})
+	if err := m.check(); err != nil {
+		return err
+	}
+	// The derived indexes are built after check so their bucket functions
+	// only see validated groups and edge ids.
+	m.GroupInsts = BucketCSR(m.NumGroups, len(m.Insts), func(i int32) int32 {
+		return m.Group[i] - 1
+	})
+	m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace)
+	return nil
+}
+
+// deriveScalars computes the scalars derivable from Insts/Pi/Group:
+// Delta, NumGroups and the profit/height ranges. Shared by finalize and
+// the incremental rebuild so a scalar added here reaches both paths.
+func (m *Model) deriveScalars() {
+	m.Delta, m.NumGroups = 0, 0
+	m.PMin, m.PMax, m.HMin = 0, 0, 0
+	for i, d := range m.Insts {
+		if l := m.Pi.RowLen(int32(i)); l > m.Delta {
+			m.Delta = l
+		}
+		if g := int(m.Group[i]); g > m.NumGroups {
+			m.NumGroups = g
+		}
 		if i == 0 || d.Profit < m.PMin {
 			m.PMin = d.Profit
 		}
@@ -164,16 +209,6 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 			m.HMin = d.Height
 		}
 	}
-	if err := m.check(); err != nil {
-		return nil, err
-	}
-	// The derived indexes are built after check so their bucket functions
-	// only see validated groups and edge ids.
-	m.GroupInsts = BucketCSR(m.NumGroups, len(insts), func(i int32) int32 {
-		return m.Group[i] - 1
-	})
-	m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace)
-	return m, nil
 }
 
 // check validates internal consistency (π ⊆ path, groups in range). The

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestFromScenarioDeterministic(t *testing.T) {
+	cfg := Config{Scenario: "videowall-line", Seed: 4, Batches: 6}
+	a, err := FromScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa, wb bytes.Buffer
+	if err := Write(&wa, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&wb, b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Fatal("equal configs produced different traces")
+	}
+	if a.Header.Algo != "line-unit" {
+		t.Fatalf("default algo = %q", a.Header.Algo)
+	}
+	resolves := 0
+	for _, ev := range a.Events {
+		if ev.Op == "resolve" {
+			resolves++
+		}
+	}
+	if resolves != 7 { // initial + 6 batches
+		t.Fatalf("resolves = %d, want 7", resolves)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, err := FromScenario(Config{Scenario: "caterpillar-backbone", Seed: 2, Batches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("Write∘Read∘Write is not the identity")
+	}
+}
+
+// TestExtremeChurnDoesNotPanic: churn 1.0 drains the arrival queue
+// (removals stop at one live job, admissions ask for the full set);
+// admit must go quiet instead of dereferencing an empty queue.
+func TestExtremeChurnDoesNotPanic(t *testing.T) {
+	tr, err := FromScenario(Config{Scenario: "videowall-line", Seed: 1, Churn: 1, Batches: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Replay(tr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream did not error")
+	}
+	if _, err := Read(bytes.NewReader([]byte("{\"algo\":\"line-unit\"}\n"))); err == nil {
+		t.Fatal("missing network did not error")
+	}
+}
+
+// TestReplayDeterministic replays the same trace twice and asserts the
+// serialized outcome streams are byte-identical (latencies excluded) —
+// the satellite guarantee behind `schedtool replay`.
+func TestReplayDeterministic(t *testing.T) {
+	tr, err := FromScenario(Config{Scenario: "videowall-line", Seed: 6, Batches: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialize := func() []byte {
+		outs, _, err := Replay(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for i := range outs {
+			if err := enc.Encode(&outs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	a, b := serialize(), serialize()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two replays of one trace diverged")
+	}
+}
+
+// TestReplayUsesDeltaPath asserts steady-state batches actually engage
+// the incremental recompile (the point of the subsystem).
+func TestReplayUsesDeltaPath(t *testing.T) {
+	tr, err := FromScenario(Config{Scenario: "videowall-line", Seed: 1, Batches: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, s, err := Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := 0
+	for _, o := range outs {
+		if o.Op == "resolve" && o.Incremental {
+			inc++
+		}
+	}
+	if inc < 8 {
+		t.Fatalf("only %d of 10 churn batches took the delta path", inc)
+	}
+	st := s.Stats()
+	if st.IncrementalResolves != int64(inc) {
+		t.Fatalf("session stats disagree: %d vs %d", st.IncrementalResolves, inc)
+	}
+}

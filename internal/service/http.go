@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"treesched/internal/online"
 	"treesched/internal/scenario"
 )
 
@@ -19,6 +20,14 @@ import (
 //	GET  /scenarios  the preset library with docs and defaults
 //	GET  /healthz    liveness
 //	GET  /metrics    MetricsSnapshot JSON
+//
+// Dynamic sessions (internal/online):
+//
+//	POST   /session                 SessionRequest -> SessionInfo
+//	POST   /session/{id}/events     NDJSON stream of events (add/remove/
+//	                                resolve) applied in order -> SessionEventsResult
+//	GET    /session/{id}/schedule   resolve staged events -> SessionSchedule
+//	DELETE /session/{id}            close the session
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /solve", e.handleSolve)
@@ -26,6 +35,10 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /scenarios", e.handleScenarios)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("POST /session", e.handleSessionOpen)
+	mux.HandleFunc("POST /session/{id}/events", e.handleSessionEvents)
+	mux.HandleFunc("GET /session/{id}/schedule", e.handleSessionSchedule)
+	mux.HandleFunc("DELETE /session/{id}", e.handleSessionClose)
 	return mux
 }
 
@@ -152,4 +165,74 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, e.Metrics())
+}
+
+func sessionStatus(err error) int {
+	if errors.Is(err, ErrSessionNotFound) {
+		return http.StatusNotFound
+	}
+	return errStatus(err)
+}
+
+func (e *Engine) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	info, err := e.OpenSession(&req)
+	if err != nil {
+		writeJSON(w, sessionStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSessionEvents reads an NDJSON stream of online.Event lines and
+// applies them in order; application stops at the first bad event (the
+// preceding ones stay applied) and the error names the offending line.
+func (e *Engine) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var events []online.Event
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	sc.Buffer(make([]byte, 0, 64*1024), maxRequestBytes)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev online.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("decode event %d: %v", len(events), err)})
+			return
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("read stream: %v", err)})
+		return
+	}
+	res, err := e.SessionEvents(r.Context(), id, events)
+	if err != nil {
+		writeJSON(w, sessionStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (e *Engine) handleSessionSchedule(w http.ResponseWriter, r *http.Request) {
+	sched, err := e.SessionSchedule(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, sessionStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, sched)
+}
+
+func (e *Engine) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	if err := e.CloseSession(r.PathValue("id")); err != nil {
+		writeJSON(w, sessionStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
 }

@@ -21,6 +21,16 @@ type metrics struct {
 	solveNanos     atomic.Int64 // total wall time spent in actual solves
 	inFlight       atomic.Int64
 
+	sessionsOpened      atomic.Int64
+	sessionsClosed      atomic.Int64
+	sessionsEvicted     atomic.Int64
+	sessionEvents       atomic.Int64
+	sessionResolves     atomic.Int64
+	sessionIncremental  atomic.Int64
+	sessionFullCompiles atomic.Int64
+	sessionCached       atomic.Int64
+	sessionSolveNanos   atomic.Int64 // session resolve wall time, kept out of solveNanos so MeanSolveMillis (SolveNanos/ResultMisses) stays a /solve metric
+
 	mu     sync.Mutex
 	byAlgo map[string]int64
 }
@@ -54,6 +64,21 @@ type MetricsSnapshot struct {
 	// CompiledEntries/ResultEntries are current cache occupancies.
 	CompiledEntries int `json:"compiled_cache_entries"`
 	ResultEntries   int `json:"result_cache_entries"`
+	// Dynamic-session counters. SessionsOpen is the current gauge;
+	// SessionsEvicted counts LRU/idle evictions (observable liveness of
+	// the eviction policy); SessionResolvesIncremental vs
+	// SessionResolvesFull split recompilations by whether the WithJobs
+	// delta path served them.
+	SessionsOpen               int   `json:"sessions_open"`
+	SessionsOpened             int64 `json:"sessions_opened"`
+	SessionsClosed             int64 `json:"sessions_closed"`
+	SessionsEvicted            int64 `json:"sessions_evicted"`
+	SessionEvents              int64 `json:"session_events"`
+	SessionResolves            int64 `json:"session_resolves"`
+	SessionResolvesIncremental int64 `json:"session_resolves_incremental"`
+	SessionResolvesFull        int64 `json:"session_resolves_full"`
+	SessionResolvesCached      int64 `json:"session_resolves_cached"`
+	SessionSolveNanos          int64 `json:"session_solve_nanos_total"`
 	// ByAlgo counts requests per algorithm name.
 	ByAlgo map[string]int64 `json:"requests_by_algo"`
 	// AlgoNames is ByAlgo's key set in sorted order, for deterministic
@@ -61,7 +86,7 @@ type MetricsSnapshot struct {
 	AlgoNames []string `json:"algo_names"`
 }
 
-func (m *metrics) snapshot(compiledEntries, resultEntries int) MetricsSnapshot {
+func (m *metrics) snapshot(compiledEntries, resultEntries, sessionsOpen int) MetricsSnapshot {
 	s := MetricsSnapshot{
 		Requests:        m.requests.Load(),
 		Errors:          m.errors.Load(),
@@ -74,6 +99,17 @@ func (m *metrics) snapshot(compiledEntries, resultEntries int) MetricsSnapshot {
 		CompiledEntries: compiledEntries,
 		ResultEntries:   resultEntries,
 		ByAlgo:          make(map[string]int64),
+
+		SessionsOpen:               sessionsOpen,
+		SessionsOpened:             m.sessionsOpened.Load(),
+		SessionsClosed:             m.sessionsClosed.Load(),
+		SessionsEvicted:            m.sessionsEvicted.Load(),
+		SessionEvents:              m.sessionEvents.Load(),
+		SessionResolves:            m.sessionResolves.Load(),
+		SessionResolvesIncremental: m.sessionIncremental.Load(),
+		SessionResolvesFull:        m.sessionFullCompiles.Load(),
+		SessionResolvesCached:      m.sessionCached.Load(),
+		SessionSolveNanos:          m.sessionSolveNanos.Load(),
 	}
 	if s.ResultMisses > 0 {
 		s.MeanSolveMillis = float64(s.SolveNanos) / float64(s.ResultMisses) / float64(time.Millisecond)

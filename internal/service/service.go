@@ -53,6 +53,12 @@ type Config struct {
 	// MaxExactNodes caps the branch-and-bound budget of "exact" requests
 	// (default 2e6) so a single request cannot monopolize a worker.
 	MaxExactNodes int64
+	// MaxSessions bounds concurrently open dynamic sessions; the least
+	// recently used session is evicted past it (default 64).
+	MaxSessions int
+	// SessionIdleTimeout evicts sessions untouched for this long
+	// (default 15m). Sweeps run on session operations.
+	SessionIdleTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +76,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxExactNodes <= 0 {
 		c.MaxExactNodes = 2_000_000
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 15 * time.Minute
 	}
 	return c
 }
@@ -182,6 +194,7 @@ type Engine struct {
 	sem      chan struct{} // bounded worker pool
 	compiled *lru[*core.Compiled]
 	results  *lru[*Response]
+	sessions *sessionManager
 	met      *metrics
 	start    time.Time
 
@@ -198,6 +211,7 @@ func New(cfg Config) *Engine {
 		sem:      make(chan struct{}, cfg.Workers),
 		compiled: newLRU[*core.Compiled](cfg.CompiledCacheSize),
 		results:  newLRU[*Response](cfg.ResultCacheSize),
+		sessions: newSessionManager(cfg.MaxSessions, cfg.SessionIdleTimeout),
 		met:      newMetrics(),
 		start:    time.Now(),
 	}
@@ -223,7 +237,7 @@ func (e *Engine) enter() error {
 
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() MetricsSnapshot {
-	return e.met.snapshot(e.compiled.len(), e.results.len())
+	return e.met.snapshot(e.compiled.len(), e.results.len(), e.sessions.len())
 }
 
 // Uptime reports time since New.
@@ -307,9 +321,13 @@ func keyOptions(algo string, opts core.Options, maxNodes int64) (core.Options, i
 }
 
 // resultKey keys the memoization cache on everything that can change a
-// response.
+// response. The algorithm name is a load-bearing component, not an
+// option: keyOptions collapses the options of several algorithms to the
+// zero value (they ignore them), so without algo in the key, "greedy"
+// and "exact" on one problem would collide on identical option strings.
+// TestResultMemoKeyIncludesAlgorithm pins this.
 func resultKey(problemHash, algo string, opts core.Options, maxNodes int64) string {
-	return fmt.Sprintf("%s|%s|eps=%g|seed=%d|fixed=%t|nodes=%d",
+	return fmt.Sprintf("%s|algo=%s|eps=%g|seed=%d|fixed=%t|nodes=%d",
 		problemHash, algo, opts.Epsilon, opts.Seed, opts.FixedRounds, maxNodes)
 }
 

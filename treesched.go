@@ -72,6 +72,7 @@ import (
 	"treesched/internal/gen"
 	"treesched/internal/graph"
 	"treesched/internal/instance"
+	"treesched/internal/online"
 	"treesched/internal/scenario"
 	"treesched/internal/service"
 	"treesched/internal/verify"
@@ -230,6 +231,36 @@ func NewEngine(cfg EngineConfig) *Engine { return service.New(cfg) }
 // Algorithms lists the service's algorithm registry: every Solve* entry
 // point of this package by name.
 func Algorithms() []string { return service.Algorithms() }
+
+// Session is a dynamic scheduling session (internal/online): open it
+// against a fixed network, stream add/remove job events, and resolve
+// schedules recomputed by delta recompilation — only the compiled rows
+// touched by the arrivals and departures are rebuilt
+// (CompiledProblem.WithJobs), with a fall back to a full recompile past
+// a churn threshold. Schedules are byte-identical to compiling and
+// solving the current job set from scratch.
+type Session = online.Session
+
+// SessionConfig parameterizes a Session (algorithm, epsilon, seed,
+// churn threshold, job limit).
+type SessionConfig = online.Config
+
+// SessionJob is one client-visible unit of work: a stable id plus the
+// demand payload.
+type SessionJob = online.Job
+
+// SessionEvent is one element of a session's input stream
+// (op "add" | "remove" | "resolve").
+type SessionEvent = online.Event
+
+// OpenSession opens a dynamic session on network's trees or timeline
+// (demands already present become the initial job set).
+func OpenSession(network *Problem, cfg SessionConfig) (*Session, error) {
+	return online.NewSession(network, cfg)
+}
+
+// SessionAlgorithms lists the algorithms a Session can dispatch.
+func SessionAlgorithms() []string { return online.Algorithms() }
 
 // Scenario is a named, parameterized workload preset tied to a paper
 // section or experiment (see internal/scenario).
