@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treesched/internal/bench"
+)
+
+// runDistBaseline is the `-dist` mode: measure the BSP substrate — the
+// sharded worker-pool engine against the goroutine-per-processor anchor
+// (see internal/bench.DistBench) — and either write the BENCH_dist.json
+// report or, with -check, compare the gate tier against a checked-in
+// baseline and exit non-zero on a regression (>25% loss of the
+// pool-vs-blocking speedup, a catastrophic rounds/sec collapse, or a
+// broken workers+O(1) goroutine bound — see bench.CheckDist). With
+// -smoke, run one scale preset at full size on the pool engine only and
+// print a one-line summary (the CI large-network smoke).
+func runDistBaseline(out, check, smoke string, quick bool) {
+	if smoke != "" {
+		line, err := bench.DistSmoke(smoke)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("schedbench:", line)
+		return
+	}
+
+	report, err := bench.DistBench(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+
+	if check != "" {
+		raw, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		var baseline bench.DistReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: parsing %s: %v\n", check, err)
+			os.Exit(1)
+		}
+		if err := bench.CheckDist(report, &baseline, 0.25); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedbench: distributed runtime within bounds of %s across %d entries\n",
+			check, len(report.Entries))
+		return
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,8 @@
 //	schedbench -service [-quick] [-o BENCH_service.json]
 //	schedbench -core [-quick] [-o BENCH_core.json | -check BENCH_core.json]
 //	schedbench -online [-quick] [-o BENCH_online.json | -check BENCH_online.json]
+//	schedbench -dist [-quick] [-o BENCH_dist.json | -check BENCH_dist.json |
+//	                 -smoke line-100k]
 //
 // The -service mode benchmarks the serving layer (internal/service)
 // instead: requests/sec for cold, compiled-cache-warm and
@@ -17,7 +19,11 @@
 // and with -check fails on a >25% cold-path regression against the
 // checked-in baseline. The -online mode benchmarks the dynamic-session
 // path: delta re-solve (core.Compiled.WithJobs) vs cold compile+solve
-// per scenario × churn rate, gating the speedups with -check.
+// per scenario × churn rate, gating the speedups with -check. The -dist
+// mode benchmarks the BSP substrate: the sharded worker-pool engine vs
+// the goroutine-per-processor anchor, up to the 10^5-processor scale
+// presets, gating speedup and the workers+O(1) goroutine bound with
+// -check; -smoke runs one scale preset end to end on the pool engine.
 package main
 
 import (
@@ -39,7 +45,9 @@ func main() {
 		service = flag.Bool("service", false, "benchmark the serving layer instead of E1-E12")
 		coreRun = flag.Bool("core", false, "benchmark the solver cold path instead of E1-E12")
 		online  = flag.Bool("online", false, "benchmark delta re-solve vs cold solve instead of E1-E12")
-		check   = flag.String("check", "", "with -core/-online: compare against the named baseline and fail on regression")
+		distRun = flag.Bool("dist", false, "benchmark the BSP worker-pool engine vs the goroutine-per-processor anchor")
+		smoke   = flag.String("smoke", "", "with -dist: run one scale preset on the pool engine and print a summary")
+		check   = flag.String("check", "", "with -core/-online/-dist: compare against the named baseline and fail on regression")
 	)
 	flag.Parse()
 
@@ -53,6 +61,10 @@ func main() {
 	}
 	if *online {
 		runOnlineBaseline(*out, *check, *quick)
+		return
+	}
+	if *distRun {
+		runDistBaseline(*out, *check, *smoke, *quick)
 		return
 	}
 

@@ -1,0 +1,150 @@
+package main
+
+// Pins the documented exit-code contract (0 success, 1 operational
+// error, 2 usage error, 3 infeasible) against the built binary. Before
+// this test, every subcommand FlagSet used flag.ExitOnError, so the
+// contract for bad flags was whatever the flag package chose to do —
+// including exiting 0-on--h mid-pipeline — rather than a decision this
+// package owns and documents.
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildSchedtool compiles the command once per test binary.
+func buildSchedtool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "schedtool")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building schedtool: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// runTool executes the binary and returns its exit code and stderr.
+func runTool(t *testing.T, bin string, stdin string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	cmd.Stdout = nil
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return exitErr.ExitCode(), stderr.String()
+}
+
+func TestExitCodes(t *testing.T) {
+	bin := buildSchedtool(t)
+
+	// A small feasible problem and a solve output to drive 0 and 3.
+	problemPath := filepath.Join(t.TempDir(), "problem.json")
+	solPath := filepath.Join(t.TempDir(), "sol.json")
+	if code, errOut := runTool(t, bin, "", "gen", "-kind", "line", "-n", "12", "-nets", "1", "-demands", "4", "-unit", "-o", problemPath); code != 0 {
+		t.Fatalf("gen exited %d: %s", code, errOut)
+	}
+	problem, err := os.ReadFile(problemPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("success is 0", func(t *testing.T) {
+		if code, errOut := runTool(t, bin, string(problem), "solve", "-algo", "line-unit", "-o", solPath); code != 0 {
+			t.Fatalf("solve exited %d: %s", code, errOut)
+		}
+		if code, errOut := runTool(t, bin, string(problem), "verify", "-solution", solPath); code != 0 {
+			t.Fatalf("verify exited %d: %s", code, errOut)
+		}
+	})
+
+	t.Run("operational error is 1", func(t *testing.T) {
+		if code, _ := runTool(t, bin, "not json", "solve", "-algo", "line-unit"); code != 1 {
+			t.Fatalf("solve on garbage stdin exited %d, want 1", code)
+		}
+		if code, _ := runTool(t, bin, string(problem), "solve", "-algo", "no-such-algo"); code != 1 {
+			t.Fatalf("unknown algorithm exited %d, want 1", code)
+		}
+	})
+
+	t.Run("bad flag is 2 with usage", func(t *testing.T) {
+		for _, args := range [][]string{
+			{"gen", "-no-such-flag"},
+			{"solve", "-algo"}, // missing value
+			{"verify", "-bogus"},
+			{"stats", "-bogus"},
+			{"trace", "-bogus"},
+			{"replay", "-bogus"},
+		} {
+			code, errOut := runTool(t, bin, "", args...)
+			if code != 2 {
+				t.Fatalf("%v exited %d, want 2", args, code)
+			}
+			if !strings.Contains(errOut, "Usage of "+args[0]) {
+				t.Fatalf("%v printed no usage message:\n%s", args, errOut)
+			}
+		}
+	})
+
+	t.Run("unknown subcommand is 2", func(t *testing.T) {
+		if code, _ := runTool(t, bin, "", "frobnicate"); code != 2 {
+			t.Fatalf("unknown subcommand exited %d, want 2", code)
+		}
+		if code, _ := runTool(t, bin, ""); code != 2 {
+			t.Fatalf("no subcommand exited %d, want 2", code)
+		}
+	})
+
+	t.Run("help is 0", func(t *testing.T) {
+		code, errOut := runTool(t, bin, "", "solve", "-h")
+		if code != 0 {
+			t.Fatalf("-h exited %d, want 0", code)
+		}
+		if !strings.Contains(errOut, "Usage of solve") {
+			t.Fatalf("-h printed no usage:\n%s", errOut)
+		}
+	})
+
+	t.Run("infeasible is 3", func(t *testing.T) {
+		// Corrupt the solution: duplicate the selected instances so the
+		// same demand is scheduled twice — structurally infeasible.
+		raw, err := os.ReadFile(solPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sol map[string]any
+		if err := json.Unmarshal(raw, &sol); err != nil {
+			t.Fatal(err)
+		}
+		selected, _ := sol["selected"].([]any)
+		if len(selected) == 0 {
+			t.Fatal("solve selected nothing; cannot build an infeasible solution")
+		}
+		sol["selected"] = append(selected, selected...)
+		bad, err := json.Marshal(sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		badPath := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := runTool(t, bin, string(problem), "verify", "-solution", badPath); code != 3 {
+			t.Fatalf("infeasible verify exited %d, want 3", code)
+		}
+	})
+}

@@ -29,6 +29,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +45,34 @@ import (
 // exitInfeasible is the dedicated exit code for verification failures,
 // distinct from operational errors (1) and usage errors (2).
 const exitInfeasible = 3
+
+// newFlagSet builds a subcommand FlagSet that reports bad flags through
+// the documented exit-code contract instead of letting the flag package
+// exit on its own: ContinueOnError hands the error back to parseFlags,
+// which exits 2 (usage) with the subcommand's usage text — and 0 for an
+// explicit -h/-help, which is a successful help request, not an error.
+// flag.ExitOnError would exit 2 directly, bypassing main's control of
+// the contract (and any future cleanup around it); every subcommand
+// must build its FlagSet here so the contract stays pinned in one place
+// (and in TestExitCodes).
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// parseFlags applies the exit-code contract to a Parse result.
+func parseFlags(fs *flag.FlagSet, args []string) {
+	err := fs.Parse(args)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	// flag already printed the error and usage to fs.Output (stderr).
+	os.Exit(2)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -107,7 +136,7 @@ func writeOutput(path string, v any) {
 }
 
 func cmdGen(args []string) {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	fs := newFlagSet("gen")
 	kind := fs.String("kind", "tree", "tree or line")
 	scen := fs.String("scenario", "", "generate a named preset instead (see `schedtool scenarios`)")
 	n := fs.Int("n", 32, "vertices (tree) or timeslots (line)")
@@ -120,7 +149,7 @@ func cmdGen(args []string) {
 	jitter := fs.Float64("jitter", 0, "capacity jitter")
 	seed := fs.Int64("seed", 1, "rng seed")
 	out := fs.String("o", "", "write output to file instead of stdout")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	var p *treesched.Problem
 	if *scen != "" {
@@ -207,14 +236,14 @@ type solveOutput struct {
 }
 
 func cmdSolve(args []string) {
-	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	fs := newFlagSet("solve")
 	algo := fs.String("algo", "arbitrary", "algorithm")
 	eps := fs.Float64("eps", 0.25, "epsilon")
 	seed := fs.Uint64("seed", 1, "MIS priority seed")
 	fixed := fs.Bool("fixed", false, "fixed-rounds schedule for dist-* algorithms")
 	trace := fs.Bool("trace", false, "include the first-phase execution profile")
 	out := fs.String("o", "", "write output to file instead of stdout")
-	fs.Parse(args)
+	parseFlags(fs, args)
 
 	p := readProblem(os.Stdin)
 	opts := treesched.Options{Epsilon: *eps, Seed: *seed, FixedRounds: *fixed, CollectTrace: *trace}
@@ -289,9 +318,9 @@ func cmdSolve(args []string) {
 }
 
 func cmdVerify(args []string) {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := newFlagSet("verify")
 	solPath := fs.String("solution", "", "path to a solve output JSON")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	if *solPath == "" {
 		die(fmt.Errorf("verify needs -solution"))
 	}
@@ -311,8 +340,8 @@ func cmdVerify(args []string) {
 }
 
 func cmdStats(args []string) {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	fs.Parse(args)
+	fs := newFlagSet("stats")
+	parseFlags(fs, args)
 	p := readProblem(os.Stdin)
 	m, err := model.Build(p, model.Options{})
 	if err != nil {

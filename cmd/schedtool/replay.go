@@ -17,7 +17,6 @@ package main
 import (
 	"bufio"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -28,7 +27,7 @@ import (
 )
 
 func cmdTrace(args []string) {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := newFlagSet("trace")
 	scen := fs.String("scenario", "", "scenario preset supplying the network and job pool (required)")
 	seed := fs.Int64("seed", 1, "generation seed")
 	churn := fs.Float64("churn", 0.1, "fraction of live jobs swapped per batch")
@@ -36,7 +35,7 @@ func cmdTrace(args []string) {
 	initial := fs.Float64("initial", 0.5, "fraction of the pool live at the first resolve")
 	algo := fs.String("algo", "", "override the preset's default algorithm")
 	out := fs.String("o", "", "write the trace to a file instead of stdout")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	if *scen == "" {
 		die(fmt.Errorf("trace: -scenario is required (see `schedtool scenarios`)"))
 	}
@@ -75,11 +74,11 @@ func cmdTrace(args []string) {
 }
 
 func cmdReplay(args []string) {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs := newFlagSet("replay")
 	in := fs.String("trace", "", "trace NDJSON file (required; - for stdin)")
 	out := fs.String("o", "", "write outcome NDJSON to a file instead of stdout")
 	quiet := fs.Bool("q", false, "suppress the latency summary on stderr")
-	fs.Parse(args)
+	parseFlags(fs, args)
 	if *in == "" {
 		die(fmt.Errorf("replay: -trace is required"))
 	}

@@ -13,10 +13,21 @@ import (
 // This file is the shared protocol engine behind every Distributed*
 // driver: the first-phase epoch/stage/step loop with its embedded Luby
 // MIS subprotocol, the dual-raise announcements, and the reverse-stack
-// second phase, all expressed as collective operations on the dist BSP
-// runtime. A driver contributes only a distProtocol value — name, rule,
-// schedule, bound — mirroring how the centralized drivers in solvers.go
-// are thin configurations of runPhases.
+// second phase. A driver contributes only a distProtocol value — name,
+// rule, schedule, bound — mirroring how the centralized drivers in
+// solvers.go are thin configurations of runPhases.
+//
+// The per-processor body is a *resumable state machine* (a dist.Proc):
+// each Step call consumes the previous collective's result and produces
+// the next collective request. Written this way, one protocol text runs
+// on both dist engines — the sharded worker pool (dist.RunProcs, the
+// default, which carries 10^5-processor networks on GOMAXPROCS
+// goroutines) and the goroutine-per-processor runtime
+// (dist.RunProcsBlocking, selected by Options.DistWorkers < 0, the
+// reference semantics and benchmark anchor). The collective sequence is
+// identical either way, so Stats and selections are byte-identical
+// across engines — a tested invariant, like the centralized/distributed
+// selection equality.
 
 // Message payloads exchanged by the protocol. Every payload names demand
 // instances by id; a processor that learns an instance id can reconstruct
@@ -53,14 +64,15 @@ func (p *raisePayload) PayloadEntries() int { return len(p.Insts) }
 func (p *selPayload) PayloadEntries() int   { return len(p.Insts) }
 
 // payloadArena double-buffers each payload type so the hot path sends
-// without allocating. Reuse is safe because every next* call is followed
-// by a collective barrier before the same buffer comes around again: a
-// buffer broadcast at collective t is truncated no earlier than the
-// node's second-next flip of that type, and by then the node has passed
-// at least one intervening barrier — which every live receiver also
-// entered, after it finished reading the collective-t payload (the
-// dist.Message contract). Adding a next* call that is not followed by a
-// collective would break this argument and race receivers.
+// without allocating. Reuse is safe because every next* call produces the
+// payload of exactly one collective: a buffer handed to the runtime for
+// collective t is truncated no earlier than the node's second-next flip
+// of that type, i.e. while preparing collective t+2 — and by then every
+// live receiver has finished reading the collective-t payload (receivers
+// consume inboxes inside the Step/collective that produces their t+1
+// request, which completes before t+2 begins on either engine). Flipping
+// a buffer without sending it in the same collective would break this
+// argument and race receivers.
 type payloadArena struct {
 	prioFlip, winFlip, raiseFlip, selFlip uint8
 
@@ -108,11 +120,13 @@ type distProtocol struct {
 	bound float64
 }
 
-// run executes the protocol on the BSP runtime — one goroutine per
-// processor, communication only between processors sharing a resource —
-// and assembles the merged, certificate-checked result. With equal seeds
-// it selects exactly the instances the centralized Phase1/Phase2 pair
-// selects — a tested invariant.
+// run executes the protocol on the BSP runtime — communication only
+// between processors sharing a resource — and assembles the merged,
+// certificate-checked result. Options.DistWorkers picks the engine:
+// ≥ 0 runs the sharded worker pool (0 = GOMAXPROCS workers), < 0 the
+// goroutine-per-processor reference. With equal seeds every engine and
+// worker count selects exactly the instances the centralized
+// Phase1/Phase2 pair selects — a tested invariant.
 func (cfg *distProtocol) run(p *instance.Problem, m *model.Model) (*DistributedResult, error) {
 	// Fixed-rounds mode: the paper's deterministic accounting. Every node
 	// runs exactly fixedSteps steps per stage and fixedPhases Luby phases
@@ -134,14 +148,15 @@ func (cfg *distProtocol) run(p *instance.Problem, m *model.Model) (*DistributedR
 
 	dr := localRule(cfg.rule)
 	nodes := make([]*nodeState, m.NumDemands)
-	errs := make([]error, m.NumDemands)
-	stats := dist.Run(p.CommGraph(), func(api *dist.API) {
-		u := api.ID()
+	machines := make([]*protoEngine, m.NumDemands)
+	// mk is called once per processor, possibly concurrently for distinct
+	// ids (the pool engine constructs shard-parallel); it touches only
+	// per-id state.
+	mk := func(u int) dist.Proc {
 		e := &protoEngine{
 			cfg:         cfg,
 			m:           m,
 			dr:          dr,
-			api:         api,
 			ns:          newNodeState(m, u),
 			fixedSteps:  fixedSteps,
 			fixedPhases: fixedPhases,
@@ -149,32 +164,63 @@ func (cfg *distProtocol) run(p *instance.Problem, m *model.Model) (*DistributedR
 			prio:        map[int32]float64{},
 		}
 		nodes[u] = e.ns
-		errs[u] = e.run()
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		machines[u] = e
+		return e
+	}
+	tr := dist.NewLocalTransport(p.CommGraph())
+	var stats dist.Stats
+	if cfg.opts.DistWorkers < 0 {
+		stats = dist.RunProcsBlocking(tr, mk)
+	} else {
+		stats = dist.RunProcs(tr, cfg.opts.DistWorkers, mk)
+	}
+	for _, e := range machines {
+		if e != nil && e.err != nil {
+			return nil, e.err
 		}
 	}
 	return assembleDistributed(cfg.name, m, cfg.rule, cfg.sched, nodes, stats, cfg.bound)
 }
 
-// protoEngine is the per-processor executor. The scratch fields are
-// reused across steps and phases so the steady state allocates nothing.
+// protoState is the resume point of a protocol machine: which collective
+// it is waiting on (psStart before the first request, psDone after
+// departure).
+type protoState uint8
+
+const (
+	psStart    protoState = iota
+	psStageAgg            // stage-top "anyone unsatisfied?" aggregate
+	psLubyPrio            // Luby round A: priority exchange
+	psLubyWin             // Luby round B: winner exchange
+	psLubyAgg             // Luby "anyone undecided?" aggregate
+	psRaise               // dual-raise announcement exchange
+	psPhase2              // one reverse-walk selection exchange
+	psDone
+)
+
+// protoEngine is the per-processor executor: protocol state plus the
+// state-machine position. The scratch fields are reused across steps and
+// phases so the steady state allocates nothing. The epoch/stage/step
+// counters are per-node state but identical on every node (loop
+// terminations are global aggregates or fixed counts), which is what
+// lets the priority function and the phase-2 reverse walk agree across
+// the network.
 type protoEngine struct {
 	cfg         *distProtocol
 	m           *model.Model
 	dr          distRule
-	api         *dist.API
 	ns          *nodeState
 	fixedSteps  int
 	fixedPhases int
 
-	// stepCounter is the global step number; it is per-node state but
-	// identical on every node (loop terminations are global aggregates or
-	// fixed counts), which is what lets the priority function and the
-	// phase-2 reverse walk agree across the network.
-	stepCounter uint64
+	state protoState
+	err   error // terminal protocol error; reported after the run
+
+	k, j        int    // current epoch and stage (1-based)
+	steps       int    // steps taken in the current stage
+	totalSteps  int    // steps across all finished stages (phase-2 length)
+	phase       int    // current Luby phase within the step
+	stepCounter uint64 // global step number
 
 	arena         payloadArena
 	participating []int32
@@ -184,6 +230,12 @@ type protoEngine struct {
 	phaseWinners  []int32
 	winners       []int32
 	allWinners    []int32
+
+	// Phase-2 reverse-walk state.
+	p2load       map[int32]float64
+	p2demandUsed bool
+	p2stackTop   int
+	p2t          int
 }
 
 // prioCand is a neighbor's announced (instance, priority) pair.
@@ -196,200 +248,255 @@ func (e *protoEngine) conflicts(i, j int32) bool {
 	return e.m.Insts[i].Demand == e.m.Insts[j].Demand || e.m.P.Overlap(e.m.Insts[i], e.m.Insts[j])
 }
 
-// run executes the first phase over all (epoch, stage) tuples, then the
-// second phase over the global step sequence in reverse.
-func (e *protoEngine) run() error {
-	totalSteps := 0
-	for k := 1; k <= e.cfg.sched.Epochs; k++ {
-		for j := 1; j <= e.cfg.sched.Stages; j++ {
-			steps, err := e.stage(k, j)
-			if err != nil {
-				return err
-			}
-			totalSteps += steps
+// Step implements dist.Proc: consume the previous collective's result,
+// advance the protocol to its next collective, and return the request.
+// The transitions mirror the first-phase while-loops and the phase-2
+// reverse walk exactly — same collectives, same order, same local
+// arithmetic — so the machine is observationally identical to the
+// original blocking body on every engine.
+func (e *protoEngine) Step(in dist.In) dist.Req {
+	switch e.state {
+	case psStart:
+		e.k, e.j = 1, 1
+		if e.k > e.cfg.sched.Epochs {
+			return e.beginPhase2()
 		}
-	}
-	e.phase2(totalSteps)
-	return nil
-}
-
-// stage runs the while-loop of one (epoch, stage) tuple: find the owned
-// group-k instances still below the stage threshold, elect an independent
-// set of them via Luby, raise the winners tight, announce the raises —
-// until no processor has unsatisfied instances (global aggregate) or the
-// fixed step budget is spent.
-func (e *protoEngine) stage(k, j int) (int, error) {
-	threshold := e.cfg.sched.Thresholds[j-1]
-	steps := 0
-	for {
-		// Participation: owned group-k instances that are
-		// threshold-unsatisfied under local duals.
-		e.participating = e.participating[:0]
-		for _, i := range e.ns.mine {
-			if int(e.m.Group[i]) == k &&
-				e.dr.lhs(e.m, e.ns, i) < threshold*e.m.Insts[i].Profit-lp.Tol {
-				e.participating = append(e.participating, i)
-			}
+		return e.stageTop()
+	case psStageAgg:
+		if !in.Agg {
+			return e.advanceStage()
 		}
-		if e.fixedSteps > 0 {
-			if steps >= e.fixedSteps {
-				if len(e.participating) > 0 {
-					return 0, fmt.Errorf("core: fixed schedule left instances unsatisfied after %d steps in stage (%d,%d)", e.fixedSteps, k, j)
+		return e.beginStep()
+	case psLubyPrio:
+		e.lubyDecide(in.Msgs)
+		return e.reqWin()
+	case psLubyWin:
+		still := e.lubyAbsorb(in.Msgs)
+		if e.fixedPhases > 0 {
+			// Fixed mode runs exactly fixedPhases lockstep phases: no
+			// early exit, no aggregation.
+			if e.phase >= e.fixedPhases {
+				if still {
+					return e.fail(fmt.Errorf("core: Luby exceeded the fixed %d-phase budget (w.h.p. bound missed; reseed)", e.fixedPhases))
 				}
-				break
+				return e.reqRaise()
 			}
-		} else if !e.api.Aggregate(len(e.participating) > 0) {
-			break
+			e.phase++
+			return e.reqPrio()
 		}
-		steps++
-		if steps > e.cfg.sched.MaxSteps {
-			return 0, fmt.Errorf("core: distributed stage (%d,%d) exceeded %d steps", k, j, e.cfg.sched.MaxSteps)
+		e.state = psLubyAgg
+		return dist.Req{Op: dist.OpAggregate, Vote: still}
+	case psLubyAgg:
+		if in.Agg {
+			e.phase++
+			return e.reqPrio()
 		}
-		e.stepCounter++
-
-		winners, err := e.lubyMIS()
-		if err != nil {
-			return 0, err
-		}
-		e.raiseAndAnnounce(winners)
+		return e.reqRaise()
+	case psRaise:
+		e.absorbRaises(in.Msgs)
+		return e.stageTop()
+	case psPhase2:
+		e.absorbSelections(in.Msgs)
+		e.p2t--
+		return e.p2Round()
+	default:
+		panic("core: Step on a departed protocol machine")
 	}
-	return steps, nil
 }
 
-// lubyMIS elects a maximal independent set of the participating instances
-// by deterministic-priority Luby: each phase is two rounds (priorities,
-// then winners), and the loop ends when a global aggregate reports no
-// undecided instance anywhere (or the fixed phase budget is reached).
-func (e *protoEngine) lubyMIS() ([]int32, error) {
+// fail departs with a terminal protocol error; the run reports it after
+// the network drains.
+func (e *protoEngine) fail(err error) dist.Req {
+	e.err = err
+	e.state = psDone
+	return dist.Req{Op: dist.OpDone}
+}
+
+// stageTop evaluates the while-condition of stage (k, j): find the owned
+// group-k instances still below the stage threshold, then either ask the
+// network whether anyone has work (adaptive) or consult the fixed step
+// budget (fixed-rounds).
+func (e *protoEngine) stageTop() dist.Req {
+	threshold := e.cfg.sched.Thresholds[e.j-1]
+	e.participating = e.participating[:0]
+	for _, i := range e.ns.mine {
+		if int(e.m.Group[i]) == e.k &&
+			e.dr.lhs(e.m, e.ns, i) < threshold*e.m.Insts[i].Profit-lp.Tol {
+			e.participating = append(e.participating, i)
+		}
+	}
+	if e.fixedSteps > 0 {
+		if e.steps >= e.fixedSteps {
+			if len(e.participating) > 0 {
+				return e.fail(fmt.Errorf("core: fixed schedule left instances unsatisfied after %d steps in stage (%d,%d)", e.fixedSteps, e.k, e.j))
+			}
+			return e.advanceStage()
+		}
+		return e.beginStep()
+	}
+	e.state = psStageAgg
+	return dist.Req{Op: dist.OpAggregate, Vote: len(e.participating) > 0}
+}
+
+// advanceStage closes stage (k, j) — banking its step count for the
+// phase-2 walk — and moves to the next (epoch, stage) tuple, or into the
+// second phase after the last.
+func (e *protoEngine) advanceStage() dist.Req {
+	e.totalSteps += e.steps
+	e.steps = 0
+	e.j++
+	if e.j > e.cfg.sched.Stages {
+		e.j = 1
+		e.k++
+	}
+	if e.k > e.cfg.sched.Epochs {
+		return e.beginPhase2()
+	}
+	return e.stageTop()
+}
+
+// beginStep opens one step of the stage loop: bump the global step
+// counter, reset the Luby state over the participating instances, and
+// issue the first priority round.
+func (e *protoEngine) beginStep() dist.Req {
+	e.steps++
+	if e.steps > e.cfg.sched.MaxSteps {
+		return e.fail(fmt.Errorf("core: distributed stage (%d,%d) exceeded %d steps", e.k, e.j, e.cfg.sched.MaxSteps))
+	}
+	e.stepCounter++
 	clear(e.undecided)
 	for _, i := range e.participating {
 		e.undecided[i] = true
 	}
 	e.winners = e.winners[:0]
-	for phase := 1; ; phase++ {
-		// Round A: announce undecided instances + priorities.
-		clear(e.prio)
-		pp := e.arena.nextPrio()
-		for _, i := range e.participating {
-			if e.undecided[i] {
-				pr := mis.Priority(e.cfg.opts.Seed, i, e.stepCounter, phase)
-				e.prio[i] = pr
-				pp.Insts = append(pp.Insts, i)
-				pp.Prios = append(pp.Prios, pr)
-			}
-		}
-		var in []dist.Message
-		if len(pp.Insts) > 0 {
-			in = e.api.Broadcast(pp)
-		} else {
-			in = e.api.Exchange(nil)
-		}
-		e.nbr = e.nbr[:0]
-		for _, msg := range in {
-			pl := msg.Payload.(*prioPayload)
-			for x, inst := range pl.Insts {
-				e.nbr = append(e.nbr, prioCand{inst: inst, prio: pl.Prios[x]})
-			}
-		}
-		// Local win decision for each owned undecided instance: beat
-		// every conflicting undecided instance by (priority, id).
-		e.phaseWinners = e.phaseWinners[:0]
-		for _, i := range e.participating {
-			if !e.undecided[i] {
-				continue
-			}
-			best := true
-			for _, o := range e.ns.mine {
-				if o != i && e.undecided[o] &&
-					(e.prio[o] < e.prio[i] || (e.prio[o] == e.prio[i] && o < i)) {
-					best = false
-					break
-				}
-			}
-			for _, c := range e.nbr {
-				if !best {
-					break
-				}
-				if e.conflicts(i, c.inst) &&
-					(c.prio < e.prio[i] || (c.prio == e.prio[i] && c.inst < i)) {
-					best = false
-				}
-			}
-			if best {
-				e.phaseWinners = append(e.phaseWinners, i)
-			}
-		}
-		// Round B: announce winners; exclude dominated.
-		var winIn []dist.Message
-		if len(e.phaseWinners) > 0 {
-			wp := e.arena.nextWin()
-			wp.Insts = append(wp.Insts, e.phaseWinners...)
-			winIn = e.api.Broadcast(wp)
-		} else {
-			winIn = e.api.Exchange(nil)
-		}
-		for _, i := range e.phaseWinners {
-			e.undecided[i] = false
-			e.winners = append(e.winners, i)
-		}
-		e.allWinners = append(e.allWinners[:0], e.phaseWinners...)
-		for _, msg := range winIn {
-			e.allWinners = append(e.allWinners, msg.Payload.(*winPayload).Insts...)
-		}
-		for _, i := range e.participating {
-			if !e.undecided[i] {
-				continue
-			}
-			for _, w := range e.allWinners {
-				if e.conflicts(i, w) {
-					e.undecided[i] = false
-					break
-				}
-			}
-		}
-		stillAny := false
-		for _, i := range e.participating {
-			if e.undecided[i] {
-				stillAny = true
-				break
-			}
-		}
-		if e.fixedPhases > 0 {
-			if phase >= e.fixedPhases {
-				if stillAny {
-					return nil, fmt.Errorf("core: Luby exceeded the fixed %d-phase budget (w.h.p. bound missed; reseed)", e.fixedPhases)
-				}
-				break
-			}
-			continue
-		}
-		if !e.api.Aggregate(stillAny) {
-			break
-		}
-	}
-	return e.winners, nil
+	e.phase = 1
+	return e.reqPrio()
 }
 
-// raiseAndAnnounce raises the step's winners tight and broadcasts the
-// raises; receivers fold them into their β copies. The MIS picks at most
-// one instance per demand (same-demand instances conflict), so winners
-// has length ≤ 1 here.
-func (e *protoEngine) raiseAndAnnounce(winners []int32) {
+// reqPrio issues Luby round A: announce undecided instances and their
+// phase priorities (silent when none remain).
+func (e *protoEngine) reqPrio() dist.Req {
+	clear(e.prio)
+	pp := e.arena.nextPrio()
+	for _, i := range e.participating {
+		if e.undecided[i] {
+			pr := mis.Priority(e.cfg.opts.Seed, i, e.stepCounter, e.phase)
+			e.prio[i] = pr
+			pp.Insts = append(pp.Insts, i)
+			pp.Prios = append(pp.Prios, pr)
+		}
+	}
+	e.state = psLubyPrio
+	if len(pp.Insts) > 0 {
+		return dist.Req{Op: dist.OpExchange, Payload: pp}
+	}
+	return dist.Req{Op: dist.OpExchange}
+}
+
+// lubyDecide consumes round A's inbox: collect the neighbors' candidates
+// and decide which owned undecided instances beat every conflicting
+// undecided instance by (priority, id).
+func (e *protoEngine) lubyDecide(in []dist.Message) {
+	e.nbr = e.nbr[:0]
+	for _, msg := range in {
+		pl := msg.Payload.(*prioPayload)
+		for x, inst := range pl.Insts {
+			e.nbr = append(e.nbr, prioCand{inst: inst, prio: pl.Prios[x]})
+		}
+	}
+	e.phaseWinners = e.phaseWinners[:0]
+	for _, i := range e.participating {
+		if !e.undecided[i] {
+			continue
+		}
+		best := true
+		for _, o := range e.ns.mine {
+			if o != i && e.undecided[o] &&
+				(e.prio[o] < e.prio[i] || (e.prio[o] == e.prio[i] && o < i)) {
+				best = false
+				break
+			}
+		}
+		for _, c := range e.nbr {
+			if !best {
+				break
+			}
+			if e.conflicts(i, c.inst) &&
+				(c.prio < e.prio[i] || (c.prio == e.prio[i] && c.inst < i)) {
+				best = false
+			}
+		}
+		if best {
+			e.phaseWinners = append(e.phaseWinners, i)
+		}
+	}
+}
+
+// reqWin issues Luby round B: announce this phase's winners.
+func (e *protoEngine) reqWin() dist.Req {
+	e.state = psLubyWin
+	if len(e.phaseWinners) > 0 {
+		wp := e.arena.nextWin()
+		wp.Insts = append(wp.Insts, e.phaseWinners...)
+		return dist.Req{Op: dist.OpExchange, Payload: wp}
+	}
+	return dist.Req{Op: dist.OpExchange}
+}
+
+// lubyAbsorb consumes round B's inbox: commit own winners, exclude
+// dominated instances, and report whether any owned instance is still
+// undecided.
+func (e *protoEngine) lubyAbsorb(in []dist.Message) (stillAny bool) {
+	for _, i := range e.phaseWinners {
+		e.undecided[i] = false
+		e.winners = append(e.winners, i)
+	}
+	e.allWinners = append(e.allWinners[:0], e.phaseWinners...)
+	for _, msg := range in {
+		e.allWinners = append(e.allWinners, msg.Payload.(*winPayload).Insts...)
+	}
+	for _, i := range e.participating {
+		if !e.undecided[i] {
+			continue
+		}
+		for _, w := range e.allWinners {
+			if e.conflicts(i, w) {
+				e.undecided[i] = false
+				break
+			}
+		}
+	}
+	for _, i := range e.participating {
+		if e.undecided[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// reqRaise closes the step: raise the elected winners tight and announce
+// the raises. The MIS picks at most one instance per demand (same-demand
+// instances conflict), so winners has length ≤ 1 here.
+func (e *protoEngine) reqRaise() dist.Req {
 	rp := e.arena.nextRaise()
-	for _, i := range winners {
+	for _, i := range e.winners {
 		delta := e.ns.raiseLocal(e.m, e.dr, i)
 		e.ns.stack = append(e.ns.stack, i)
 		e.ns.raiseSteps = append(e.ns.raiseSteps, int(e.stepCounter))
 		rp.Insts = append(rp.Insts, i)
 		rp.Deltas = append(rp.Deltas, delta)
 	}
-	var raiseIn []dist.Message
+	e.state = psRaise
 	if len(rp.Insts) > 0 {
-		raiseIn = e.api.Broadcast(rp)
-	} else {
-		raiseIn = e.api.Exchange(nil)
+		return dist.Req{Op: dist.OpExchange, Payload: rp}
 	}
-	for _, msg := range raiseIn {
+	return dist.Req{Op: dist.OpExchange}
+}
+
+// absorbRaises folds the neighbors' announced raises into the local β
+// copies.
+func (e *protoEngine) absorbRaises(in []dist.Message) {
+	for _, msg := range in {
 		pl := msg.Payload.(*raisePayload)
 		for x, inst := range pl.Insts {
 			e.ns.applyRemoteRaise(e.m, e.dr, inst, pl.Deltas[x])
@@ -397,55 +504,69 @@ func (e *protoEngine) raiseAndAnnounce(winners []int32) {
 	}
 }
 
-// phase2 is the distributed reverse-stack selection. All nodes observed
-// identical step counts (the loop breaks are global aggregates or fixed
-// budgets), so they walk the same global step sequence in reverse: one
-// communication round per step. Feasibility is tracked on the node's
-// relevant edges from its own selections and the neighbors'
-// announcements.
-func (e *protoEngine) phase2(totalSteps int) {
-	load := map[int32]float64{}
-	demandUsed := false
-	stackTop := len(e.ns.stack) - 1
-	for t := totalSteps; t >= 1; t-- {
-		announce := int32(-1)
-		if stackTop >= 0 && e.ns.raiseSteps[stackTop] == t {
-			i := e.ns.stack[stackTop]
-			stackTop--
-			d := e.m.Insts[i]
-			fits := !demandUsed
-			if fits {
-				for _, edge := range e.m.Paths.Row(i) {
-					if load[edge]+d.Height > e.m.Cap[edge]+lp.Tol {
-						fits = false
-						break
-					}
+// beginPhase2 enters the distributed reverse-stack selection. All nodes
+// observed identical step counts (the loop terminations are global
+// aggregates or fixed budgets), so they walk the same global step
+// sequence in reverse: one communication round per step. Feasibility is
+// tracked on the node's relevant edges from its own selections and the
+// neighbors' announcements.
+func (e *protoEngine) beginPhase2() dist.Req {
+	e.p2load = map[int32]float64{}
+	e.p2stackTop = len(e.ns.stack) - 1
+	e.p2t = e.totalSteps
+	return e.p2Round()
+}
+
+// p2Round plays reverse step t: pop the stack if this node raised at t,
+// keep the instance when it still fits, announce it — then wait for the
+// peers' announcements of the same step. After step 1 the walk is done
+// and the processor departs.
+func (e *protoEngine) p2Round() dist.Req {
+	if e.p2t < 1 {
+		e.state = psDone
+		return dist.Req{Op: dist.OpDone}
+	}
+	announce := int32(-1)
+	if e.p2stackTop >= 0 && e.ns.raiseSteps[e.p2stackTop] == e.p2t {
+		i := e.ns.stack[e.p2stackTop]
+		e.p2stackTop--
+		d := e.m.Insts[i]
+		fits := !e.p2demandUsed
+		if fits {
+			for _, edge := range e.m.Paths.Row(i) {
+				if e.p2load[edge]+d.Height > e.m.Cap[edge]+lp.Tol {
+					fits = false
+					break
 				}
 			}
-			if fits {
-				demandUsed = true
-				for _, edge := range e.m.Paths.Row(i) {
-					load[edge] += d.Height
-				}
-				e.ns.selected = append(e.ns.selected, i)
-				announce = i
+		}
+		if fits {
+			e.p2demandUsed = true
+			for _, edge := range e.m.Paths.Row(i) {
+				e.p2load[edge] += d.Height
 			}
+			e.ns.selected = append(e.ns.selected, i)
+			announce = i
 		}
-		var selIn []dist.Message
-		if announce >= 0 {
-			sp := e.arena.nextSel()
-			sp.Insts = append(sp.Insts, announce)
-			selIn = e.api.Broadcast(sp)
-		} else {
-			selIn = e.api.Exchange(nil)
-		}
-		for _, msg := range selIn {
-			for _, inst := range msg.Payload.(*selPayload).Insts {
-				h := e.m.Insts[inst].Height
-				for _, edge := range e.m.Paths.Row(inst) {
-					if e.ns.relevant[edge] {
-						load[edge] += h
-					}
+	}
+	e.state = psPhase2
+	if announce >= 0 {
+		sp := e.arena.nextSel()
+		sp.Insts = append(sp.Insts, announce)
+		return dist.Req{Op: dist.OpExchange, Payload: sp}
+	}
+	return dist.Req{Op: dist.OpExchange}
+}
+
+// absorbSelections folds the peers' phase-2 announcements into the load
+// of this node's relevant edges.
+func (e *protoEngine) absorbSelections(in []dist.Message) {
+	for _, msg := range in {
+		for _, inst := range msg.Payload.(*selPayload).Insts {
+			h := e.m.Insts[inst].Height
+			for _, edge := range e.m.Paths.Row(inst) {
+				if e.ns.relevant[edge] {
+					e.p2load[edge] += h
 				}
 			}
 		}

@@ -70,13 +70,19 @@ func refPhase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64) (*lp.D
 	return duals, stack, nil
 }
 
-// scenarioProblems materializes every registered scenario with default
-// params and a fixed generation seed.
+// scenarioProblems materializes every registered scenario with a fixed
+// generation seed — default params, except the benchmark-scale presets,
+// which are sized down (the equivalence properties are size-independent;
+// a 10^5-demand reference phase1 is not a unit test).
 func scenarioProblems(t *testing.T) map[string]*instance.Problem {
 	t.Helper()
 	out := map[string]*instance.Problem{}
 	for _, s := range scenario.All() {
-		p, err := s.Generate(scenario.Params{}, 1)
+		params := scenario.Params{}
+		if s.Scale {
+			params = scenario.Params{Demands: 48, Size: 64, Networks: 8}
+		}
+		p, err := s.Generate(params, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name, err)
 		}

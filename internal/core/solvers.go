@@ -58,6 +58,14 @@ type Options struct {
 	// feeds the priority function), but all certificates still hold.
 	// Multi-stage schedules only. Ignored by centralized drivers.
 	FixedRounds bool
+	// DistWorkers selects the BSP engine of the distributed drivers:
+	// ≥ 0 runs the sharded worker pool (0 = one worker per GOMAXPROCS
+	// core — the default, which carries 100k-processor networks on a
+	// handful of goroutines), < 0 the goroutine-per-processor reference
+	// runtime (the benchmark anchor). Stats and selections are
+	// byte-identical across all settings; only execution cost differs.
+	// Ignored by centralized drivers.
+	DistWorkers int
 }
 
 func (o Options) withDefaults() Options {

@@ -62,3 +62,55 @@ func BenchmarkAggregate(b *testing.B) {
 		})
 	}
 }
+
+// benchPoolBody mirrors benchBody as a resumable Proc.
+type benchPoolProc struct {
+	id, rounds, entries int
+	r                   int
+	sink                int64
+	bufs                [2]idsPayload
+}
+
+func (p *benchPoolProc) Step(in In) Req {
+	for _, m := range in.Msgs {
+		p.sink += int64(m.Payload.(*idsPayload).Ids[0])
+	}
+	if p.r == p.rounds {
+		return Req{Op: OpDone}
+	}
+	pl := &p.bufs[p.r&1]
+	if len(pl.Ids) == 0 {
+		pl.Ids = make([]int32, p.entries)
+	}
+	for x := range pl.Ids {
+		pl.Ids[x] = int32(p.id + p.r + x)
+	}
+	p.r++
+	return Req{Op: OpExchange, Payload: pl}
+}
+
+// benchPool measures the pool engine on the same workload shapes as the
+// blocking benchmarks above — the rounds/sec comparison behind
+// BENCH_dist.json at micro scale.
+func benchPool(b *testing.B, adj [][]int32, rounds, entries int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunProcs(NewLocalTransport(adj), 0, func(u int) Proc {
+			return &benchPoolProc{id: u, rounds: rounds, entries: entries}
+		})
+	}
+}
+
+// BenchmarkPoolRingBroadcast is BenchmarkRingBroadcast on the pool
+// engine.
+func BenchmarkPoolRingBroadcast(b *testing.B) { benchPool(b, ring(64), 32, 4) }
+
+// BenchmarkPoolCompleteBroadcast is BenchmarkCompleteBroadcast on the
+// pool engine.
+func BenchmarkPoolCompleteBroadcast(b *testing.B) { benchPool(b, complete(32), 16, 4) }
+
+// BenchmarkPoolRingBroadcast10k is the scale regime the pool engine
+// exists for: 10^4 processors on a handful of goroutines, a size the
+// goroutine-per-processor runtime is not benchmarked at.
+func BenchmarkPoolRingBroadcast10k(b *testing.B) { benchPool(b, ring(10000), 8, 4) }

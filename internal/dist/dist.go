@@ -245,6 +245,16 @@ func (c *coordinator) finishRound() {
 // depart removes a processor whose body returned from the barrier group.
 // If everyone else is already blocked on the current collective, the
 // departure is what completes it.
+//
+// Audited edge case (pinned by TestDepartureVoteRace, on both engines):
+// a processor may return between a peer's deposit and finishRound. The
+// deposited contribution is safe — votes accumulate in c.vote and
+// payloads in c.out under c.mu, and finishRound reads them under the
+// same lock no matter who triggers it — and waiters cannot strand: every
+// depart re-evaluates waiting == live after decrementing, so the last
+// live depositor is always released either by a later arrival or by the
+// departure itself. A departing processor that never deposited simply
+// counts as a false vote / silent sender, per the package contract.
 func (c *coordinator) depart(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

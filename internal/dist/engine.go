@@ -1,0 +1,420 @@
+package dist
+
+// The sharded worker-pool BSP engine: the scale substrate behind the
+// goroutine-per-processor runtime in dist.go. The blocking runtime is the
+// natural way to *write* a protocol, but at the network sizes where the
+// paper's O(log m) round bounds matter (10^5 processors, cf. the SINR
+// link-scheduling benchmarks of Pei–Kumar and Halldórsson–Mitra) it
+// drowns in goroutine stacks and a single contended barrier mutex. Here a
+// processor is instead a *resumable step function* (Proc): W workers each
+// own one contiguous shard of processors and advance them cooperatively,
+// one Step call per processor per collective, so a whole network runs on
+// W ≈ GOMAXPROCS goroutines.
+//
+// # Round structure and the two-level barrier
+//
+// One collective (one "superstep") is:
+//
+//	phase A (step)     each worker resumes its shard's live processors
+//	                   and accumulates a shard summary: the collective
+//	                   kind, the shard's vote-OR, its sender list, its
+//	                   live count. This is the per-shard barrier level —
+//	                   pure sequential accumulation, no locks.
+//	barrier 1          the last worker to arrive combines the shard
+//	                   summaries: checks the kinds agree, resolves the
+//	                   global aggregate OR, concatenates the sender list,
+//	                   bumps Rounds/Aggregations.
+//	phase B (deliver)  exchange rounds only: each worker rebuilds the
+//	                   inboxes of its own shard, in its own arena,
+//	                   reading the (now frozen) global outbox vector.
+//	barrier 2          the last worker sums the per-shard message and
+//	                   entry counts into Stats.
+//
+// Aggregate rounds skip phase B and barrier 2. Workers only rendezvous at
+// the two barriers, so a round costs O(messages/P + shard size) per
+// worker plus two barrier crossings of W parties — not n lock
+// acquisitions of one mutex.
+//
+// # Determinism
+//
+// The engine is observationally identical to running the same Procs on
+// the blocking runtime (RunProcsBlocking), and that equivalence is
+// tested: shards partition the id space contiguously, each worker steps
+// its shard in ascending id order, delivery produces ascending-sender
+// inboxes, and all cross-shard combination (votes, message counts) is
+// order-independent (OR and sums). Stats and every processor's
+// observation stream are byte-identical across engines, worker counts and
+// runs.
+//
+// # Departure
+//
+// A Proc departs by returning Req{Op: OpDone} — the pooled analogue of
+// returning from the blocking body. Departure semantics mirror the
+// blocking coordinator exactly (see the dist_test.go departure race
+// tests, which pin them on both engines): a departed processor sends
+// nothing, receives nothing, votes false, and never blocks the round —
+// its departure is processed at its step slot, before the barrier, so the
+// round completes with precisely the surviving participants.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// OpKind names the collective operation a resumable processor requests.
+type OpKind uint8
+
+const (
+	// OpDone departs: the processor's body is finished. Terminal.
+	OpDone OpKind = iota
+	// OpExchange participates in a communication round; a nil Payload
+	// stays silent (the Exchange(nil) of the blocking API).
+	OpExchange
+	// OpAggregate contributes Vote to a global boolean OR.
+	OpAggregate
+)
+
+// Req is a processor's contribution to its next collective: what the
+// blocking API expresses as a Broadcast/Exchange/Aggregate call or a
+// body return, expressed as a value.
+type Req struct {
+	Op      OpKind
+	Payload any  // OpExchange: the payload to send; nil = silent
+	Vote    bool // OpAggregate: the processor's vote
+}
+
+// In carries the result of the previous collective into the next Step
+// call. Exactly one field is meaningful, per the previous Req's kind; the
+// first Step of a processor receives the zero In.
+type In struct {
+	// Msgs is the inbox of the previous exchange, ascending sender order.
+	// Valid only for the duration of the Step call: the backing arena is
+	// rewritten by the next delivery.
+	Msgs []Message
+	// Agg is the result of the previous aggregation.
+	Agg bool
+}
+
+// Proc is a resumable processor body: the runtime calls Step once per
+// collective, handing it the previous collective's result and receiving
+// the next request. Step must not retain In.Msgs or the received payloads
+// past its return (the same sharing contract as the blocking Message
+// doc), and must not block.
+type Proc interface {
+	Step(in In) Req
+}
+
+// RunProcs executes one Proc per processor of tr's communication graph on
+// the sharded worker-pool engine and returns the measured network cost.
+// workers ≤ 0 defaults to GOMAXPROCS; the engine runs on exactly
+// min(workers, n) goroutines regardless of network size. Stats and every
+// processor's observation stream are identical to RunProcsBlocking(tr, mk)
+// — and so to the goroutine-per-processor runtime — for any worker count.
+func RunProcs(tr Transport, workers int, mk func(u int) Proc) Stats {
+	n := tr.NumNodes()
+	if n == 0 {
+		return Stats{}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	e := newPoolEngine(tr, n, workers, mk)
+	e.run()
+	return e.stats
+}
+
+// RunProcsBlocking executes the same resumable processors on the
+// goroutine-per-processor runtime: each Proc is driven by a blocking
+// adapter goroutine through the original coordinator. This is the
+// reference semantics of RunProcs, the equivalence-test oracle, and the
+// benchmark anchor the pool engine is measured against.
+func RunProcsBlocking(tr Transport, mk func(u int) Proc) Stats {
+	return RunOn(tr, func(api *API) {
+		p := mk(api.ID())
+		var in In
+		for {
+			req := p.Step(in)
+			switch req.Op {
+			case OpDone:
+				return
+			case OpExchange:
+				in = In{Msgs: api.Exchange(req.Payload)}
+			case OpAggregate:
+				in = In{Agg: api.Aggregate(req.Vote)}
+			default:
+				panic(fmt.Sprintf("dist: invalid OpKind %d", req.Op))
+			}
+		}
+	})
+}
+
+// shardState is one worker's private slice of the engine plus its round
+// summary. Workers write only their own shard's entries of the global
+// vectors between barriers, so no field here is ever contended.
+type shardState struct {
+	lo, hi int // processor id range [lo, hi)
+	live   int // processors of the shard that have not departed
+
+	kind    opKind  // collective kind stepped this round (opNone if none live)
+	vote    bool    // OR of the shard's aggregate votes this round
+	senders []int32 // shard's non-silent exchangers this round, ascending
+
+	msgs, entries int64 // per-round delivery counts (phase B)
+
+	arena InboxArena // the shard's inbox storage, reused across rounds
+}
+
+// poolEngine is the shared state of one RunProcs execution.
+type poolEngine struct {
+	tr  Transport
+	str ShardTransport // tr if it supports sharded delivery, else nil
+
+	n       int
+	workers int
+	procs   []Proc
+	alive   []bool
+	out     []any
+	in      [][]Message
+	shards  []shardState
+
+	bar barrier
+
+	// Round state, written only by the barrier-1 leader and read by all
+	// workers after the barrier (the barrier publishes the writes).
+	roundKind opKind
+	prevKind  opKind
+	aggResult bool
+	liveTotal int
+	finished  bool
+	senders   []int32 // global ascending sender list of the round
+
+	stats Stats
+}
+
+func newPoolEngine(tr Transport, n, workers int, mk func(u int) Proc) *poolEngine {
+	e := &poolEngine{
+		tr:      tr,
+		n:       n,
+		workers: workers,
+		procs:   make([]Proc, n),
+		alive:   make([]bool, n),
+		out:     make([]any, n),
+		in:      make([][]Message, n),
+		shards:  make([]shardState, workers),
+	}
+	if st, ok := tr.(ShardTransport); ok {
+		e.str = st
+	}
+	e.bar.init(workers)
+	e.liveTotal = n
+	for u := 0; u < n; u++ {
+		e.alive[u] = true
+	}
+	// Contiguous shards, sizes differing by at most one. Construction of
+	// the Procs happens on the owning worker (concurrently), so mk must be
+	// safe for concurrent calls with distinct u — the protocol engines
+	// only touch per-processor state there.
+	per, extra := n/workers, n%workers
+	lo := 0
+	for w := range e.shards {
+		size := per
+		if w < extra {
+			size++
+		}
+		e.shards[w] = shardState{lo: lo, hi: lo + size, live: size}
+		lo += size
+	}
+	e.mkProcs(mk)
+	return e
+}
+
+// mkProcs constructs the per-processor machines shard-parallel: at 10^5
+// processors construction is real work (per-node state allocation).
+func (e *poolEngine) mkProcs(mk func(u int) Proc) {
+	var wg sync.WaitGroup
+	for w := range e.shards {
+		wg.Add(1)
+		go func(sh *shardState) {
+			defer wg.Done()
+			for u := sh.lo; u < sh.hi; u++ {
+				e.procs[u] = mk(u)
+			}
+		}(&e.shards[w])
+	}
+	wg.Wait()
+}
+
+func (e *poolEngine) run() {
+	var wg sync.WaitGroup
+	for w := range e.shards {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.worker(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// worker drives one shard until every processor in the network departed.
+func (e *poolEngine) worker(w int) {
+	sh := &e.shards[w]
+	for {
+		// Phase A: resume the shard's live processors in id order.
+		kind := opNone
+		vote := false
+		sh.senders = sh.senders[:0]
+		prev := e.prevKind
+		for u := sh.lo; u < sh.hi; u++ {
+			if !e.alive[u] {
+				continue
+			}
+			var in In
+			switch prev {
+			case opExchange:
+				in.Msgs = e.in[u]
+			case opAggregate:
+				in.Agg = e.aggResult
+			}
+			req := e.procs[u].Step(in)
+			switch req.Op {
+			case OpDone:
+				e.alive[u] = false
+				e.out[u] = nil
+				e.in[u] = nil
+				sh.live--
+			case OpExchange:
+				if kind == opNone {
+					kind = opExchange
+				} else if kind != opExchange {
+					panic("dist: processors issued mismatched collective operations in one round")
+				}
+				e.out[u] = req.Payload
+				if req.Payload != nil {
+					sh.senders = append(sh.senders, int32(u))
+				}
+			case OpAggregate:
+				if kind == opNone {
+					kind = opAggregate
+				} else if kind != opAggregate {
+					panic("dist: processors issued mismatched collective operations in one round")
+				}
+				vote = vote || req.Vote
+			default:
+				panic(fmt.Sprintf("dist: invalid OpKind %d", req.Op))
+			}
+		}
+		sh.kind, sh.vote = kind, vote
+
+		e.bar.await(e.combine)
+		if e.finished {
+			return
+		}
+		if e.roundKind != opExchange {
+			continue // aggregate rounds have no delivery phase
+		}
+
+		// Phase B: shard-parallel delivery into the shard's arena.
+		if e.str != nil {
+			sh.msgs, sh.entries = e.str.DeliverShard(e.out, e.senders, e.alive, e.in, &sh.arena, sh.lo, sh.hi)
+		} else if w == 0 {
+			// Unsharded transport: one worker routes the whole round.
+			sh.msgs, sh.entries = e.tr.Deliver(e.out, e.in, e.alive)
+		} else {
+			sh.msgs, sh.entries = 0, 0
+		}
+		e.bar.await(e.tally)
+	}
+}
+
+// combine is the barrier-1 leader action: fold the shard summaries into
+// the round decision. Runs with every worker parked, so it may touch
+// anything.
+func (e *poolEngine) combine() {
+	kind := opNone
+	vote := false
+	live := 0
+	for w := range e.shards {
+		sh := &e.shards[w]
+		live += sh.live
+		if sh.kind == opNone {
+			continue
+		}
+		if kind == opNone {
+			kind = sh.kind
+		} else if kind != sh.kind {
+			panic("dist: processors issued mismatched collective operations in one round")
+		}
+		vote = vote || sh.vote
+	}
+	e.liveTotal = live
+	e.roundKind = kind
+	e.prevKind = kind
+	switch kind {
+	case opNone:
+		// Nobody requested anything: the network has fully departed.
+		e.finished = true
+	case opExchange:
+		e.stats.Rounds++
+		e.senders = e.senders[:0]
+		for w := range e.shards {
+			e.senders = append(e.senders, e.shards[w].senders...)
+		}
+	case opAggregate:
+		e.stats.Aggregations++
+		e.aggResult = vote
+	}
+}
+
+// tally is the barrier-2 leader action: sum the per-shard delivery
+// counts of an exchange round.
+func (e *poolEngine) tally() {
+	for w := range e.shards {
+		e.stats.Messages += e.shards[w].msgs
+		e.stats.Entries += e.shards[w].entries
+	}
+}
+
+// barrier is the global rendezvous of the two-level scheme: W parties
+// (one per shard), the last arrival runs the leader action under the
+// barrier lock and releases the rest. Reused every phase; generation
+// counting handles spurious wakeups.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	gen     uint64
+}
+
+func (b *barrier) init(parties int) {
+	b.parties = parties
+	b.cond = sync.NewCond(&b.mu)
+}
+
+// await blocks until all parties have arrived; the last arrival runs
+// leader (if non-nil) before anyone proceeds. The mutex-protected
+// generation bump publishes the leader's writes to every released party.
+func (b *barrier) await(leader func()) {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.parties {
+		if leader != nil {
+			leader()
+		}
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"treesched/internal/graph"
 	"treesched/internal/instance"
@@ -100,6 +101,16 @@ type TreeConfig struct {
 	// (≥ 1 access is always guaranteed). Default 0.5.
 	AccessProb float64
 
+	// AccessCount, when positive, overrides AccessProb: every demand
+	// accesses exactly min(AccessCount, Trees) distinct trees, drawn
+	// uniformly in O(AccessCount) per demand. This is the large-network
+	// access model: with r networks and access sets of size k, the
+	// communication graph (processors adjacent iff access sets
+	// intersect) has expected degree ≈ k²m/r, so 10^5-processor
+	// workloads stay sparse — Bernoulli AccessProb would cost O(r) rng
+	// draws per demand and make degree control awkward.
+	AccessCount int
+
 	// LocalBias, when positive, draws demand endpoints at tree distance
 	// ≤ LocalBias of each other when possible, producing short paths.
 	LocalBias int
@@ -176,7 +187,7 @@ func TreeProblem(cfg TreeConfig, rng *rand.Rand) *instance.Problem {
 			ID: i, U: u, V: v,
 			Profit: cfg.PMin + rng.Float64()*(cfg.PMax-cfg.PMin),
 			Height: h,
-			Access: accessSet(cfg.Trees, cfg.AccessProb, rng),
+			Access: drawAccess(cfg.Trees, cfg.AccessCount, cfg.AccessProb, rng),
 		})
 	}
 	return p
@@ -192,6 +203,10 @@ type LineConfig struct {
 	HMin, HMax float64
 	PMin, PMax float64
 	AccessProb float64
+	// AccessCount, when positive, overrides AccessProb: exactly
+	// min(AccessCount, Resources) distinct resources per demand. See
+	// TreeConfig.AccessCount for why large networks need this.
+	AccessCount int
 
 	// MaxProc caps processing times (default Slots/4, at least 1).
 	MaxProc int
@@ -266,10 +281,19 @@ func LineProblem(cfg LineConfig, rng *rand.Rand) *instance.Problem {
 			ID: i, Release: rt, Deadline: rt + window - 1, ProcTime: rho,
 			Profit: cfg.PMin + rng.Float64()*(cfg.PMax-cfg.PMin),
 			Height: h,
-			Access: accessSet(cfg.Resources, cfg.AccessProb, rng),
+			Access: drawAccess(cfg.Resources, cfg.AccessCount, cfg.AccessProb, rng),
 		})
 	}
 	return p
+}
+
+// drawAccess dispatches between the two access models: exact-count
+// (count > 0) and Bernoulli (probability prob per network).
+func drawAccess(r, count int, prob float64, rng *rand.Rand) []int {
+	if count > 0 {
+		return accessCountSet(r, count, rng)
+	}
+	return accessSet(r, prob, rng)
 }
 
 // accessSet draws a non-empty subset of 0..r-1.
@@ -283,6 +307,32 @@ func accessSet(r int, prob float64, rng *rand.Rand) []int {
 	if len(out) == 0 {
 		out = []int{rng.Intn(r)}
 	}
+	return out
+}
+
+// accessCountSet draws exactly min(k, r) distinct networks, ascending.
+// Rejection sampling: k is a small constant in every caller (the point
+// is k ≪ r), so the expected cost is O(k²) regardless of r.
+func accessCountSet(r, k int, rng *rand.Rand) []int {
+	if k >= r {
+		out := make([]int, r)
+		for q := range out {
+			out[q] = q
+		}
+		return out
+	}
+	out := make([]int, 0, k)
+draw:
+	for len(out) < k {
+		q := rng.Intn(r)
+		for _, seen := range out {
+			if seen == q {
+				continue draw
+			}
+		}
+		out = append(out, q)
+	}
+	sort.Ints(out)
 	return out
 }
 

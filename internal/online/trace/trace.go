@@ -28,8 +28,14 @@ type Header struct {
 	Name string `json:"name,omitempty"`
 	// Algo is the algorithm every resolve runs (see online.Algorithms).
 	Algo string `json:"algo"`
-	// Seed and Epsilon configure the solver (not the generator).
-	Seed    uint64  `json:"seed,omitempty"`
+	// Seed and Epsilon configure the solver (not the generator). Seed is
+	// int64 like every seed the generators and Config take: a negative
+	// seed must survive the NDJSON round trip as written, not wrap
+	// through uint64 into an 18-million-trillion literal that a re-read
+	// Config no longer matches. The one unsigned consumer —
+	// online.Config's Luby-priority seed — converts at that boundary
+	// (see Replay), not here.
+	Seed    int64   `json:"seed,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// Network is the fixed network the session runs against; its demand
 	// list must be empty (jobs arrive as events).
@@ -118,7 +124,7 @@ func FromPool(name string, p *instance.Problem, algo string, seed int64, initial
 	}
 	network := *p
 	network.Demands = nil
-	tr := &Trace{Header: Header{Name: name, Algo: algo, Seed: uint64(seed), Network: &network}}
+	tr := &Trace{Header: Header{Name: name, Algo: algo, Seed: seed, Network: &network}}
 
 	rng := rand.New(rand.NewSource(seed))
 	// queue holds the payloads not currently live: the tail of the pool
@@ -254,7 +260,9 @@ func Replay(tr *Trace) ([]Outcome, *online.Session, error) {
 	s, err := online.NewSession(tr.Header.Network, online.Config{
 		Algo:    tr.Header.Algo,
 		Epsilon: tr.Header.Epsilon,
-		Seed:    tr.Header.Seed,
+		// The Luby-priority seed is unsigned; this cast is the single
+		// signed→unsigned boundary, deterministic in the header value.
+		Seed: uint64(tr.Header.Seed),
 	})
 	if err != nil {
 		return nil, nil, err

@@ -62,6 +62,56 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNegativeSeedRoundTrip: Header.Seed is int64 like Config.Seed; a
+// negative generation seed must come back from NDJSON exactly as
+// written (it used to be stored as uint64, so -7 serialized as
+// 18446744073709551609 — a silent wrap that made the re-read header
+// disagree with the Config that produced it) and the trace must replay
+// deterministically.
+func TestNegativeSeedRoundTrip(t *testing.T) {
+	const seed = int64(-7)
+	tr, err := FromScenario(Config{Scenario: "caterpillar-backbone", Seed: seed, Batches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Seed != seed {
+		t.Fatalf("generated header seed = %d, want %d", tr.Header.Seed, seed)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"seed":-7`)) {
+		t.Fatalf("serialized header does not carry the literal negative seed:\n%s",
+			bytes.SplitN(buf.Bytes(), []byte("\n"), 2)[0])
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.Seed != seed {
+		t.Fatalf("round-tripped header seed = %d, want %d", got.Header.Seed, seed)
+	}
+	out1, _, err := Replay(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _, err := Replay(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out1) != len(out2) {
+		t.Fatal("negative-seed replays disagree on length")
+	}
+	for i := range out1 {
+		a, b := out1[i], out2[i]
+		a.LatencyNS, b.LatencyNS = 0, 0
+		if a != b {
+			t.Fatalf("negative-seed replay diverged at event %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
 // TestExtremeChurnDoesNotPanic: churn 1.0 drains the arrival queue
 // (removals stop at one live job, admissions ask for the full set);
 // admit must go quiet instead of dereferencing an empty queue.

@@ -50,7 +50,7 @@ func (p Params) withDefaults(d Params) Params {
 const (
 	MinSize     = 4
 	MaxSize     = 1 << 16
-	MaxNetworks = 1024
+	MaxNetworks = 8192
 	MaxDemands  = 1_000_000
 )
 
@@ -85,6 +85,11 @@ type Scenario struct {
 	DefaultAlgo string `json:"default_algo"`
 	// Defaults is the canonical sizing.
 	Defaults Params `json:"defaults"`
+	// Scale marks benchmark-scale presets (10^4–10^5 processors): the
+	// solvers handle their default sizing, but a default-size solve is
+	// a deliberate multi-second commitment — library-sweeping tests and
+	// interactive callers should size them down via Params.
+	Scale bool `json:"scale,omitempty"`
 
 	generate func(p Params, rng *rand.Rand) *instance.Problem
 }
@@ -267,6 +272,54 @@ func init() {
 			return gen.TreeProblem(gen.TreeConfig{
 				N: p.Size, Trees: p.Networks, Demands: p.Demands,
 				Unit: true, PMin: 1, PMax: 1000, AccessProb: 0.6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "line-100k",
+		Doc: "Scale stressor: 100k unit-height jobs with tight windows across thousands of line " +
+			"resources — the §7 setting at the 10^4–10^5-link scale of the SINR scheduling " +
+			"literature, driving the worker-pool BSP engine (experiment E14).",
+		Kind:        instance.KindLine,
+		DefaultAlgo: "dist-unit",
+		Defaults:    Params{Demands: 100_000, Size: 256, Networks: 8192},
+		Scale:       true,
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.LineProblem(gen.LineConfig{
+				Slots: p.Size, Resources: p.Networks, Demands: p.Demands,
+				Unit: true, AccessCount: 1, MaxProc: 6, Slack: 6,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "random-tree-50k",
+		Doc: "Scale stressor: 50k unit-height, locally-biased connections over thousands of random " +
+			"routing trees — Theorem 5.3's round complexity at the network sizes where O(log m) " +
+			"bounds matter (experiment E14).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "dist-unit",
+		Defaults:    Params{Demands: 50_000, Size: 64, Networks: 4096},
+		Scale:       true,
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Unit: true, AccessCount: 1, LocalBias: 4,
+			}, rng)
+		},
+	})
+	register(&Scenario{
+		Name: "caterpillar-20k",
+		Doc: "Scale stressor: 20k unit-height connections on a thousand caterpillar backbones with " +
+			"two-network access sets — the Lemma 4.1/4.3 decomposition shape at metro-network " +
+			"scale (experiment E14).",
+		Kind:        instance.KindTree,
+		DefaultAlgo: "dist-unit",
+		Defaults:    Params{Demands: 20_000, Size: 48, Networks: 1024},
+		Scale:       true,
+		generate: func(p Params, rng *rand.Rand) *instance.Problem {
+			return gen.TreeProblem(gen.TreeConfig{
+				N: p.Size, Trees: p.Networks, Demands: p.Demands,
+				Shape: gen.ShapeCaterpillar, Unit: true, AccessCount: 2, LocalBias: 3,
 			}, rng)
 		},
 	})

@@ -26,10 +26,18 @@ func TestEveryScenarioSolvesEndToEnd(t *testing.T) {
 	defer e.Close()
 	for _, s := range scenario.All() {
 		for seed := int64(1); seed <= 3; seed++ {
+			// Benchmark-scale presets solve at a capped size: the
+			// end-to-end property is size-independent and a default-size
+			// line-100k solve is a multi-second benchmark, not a unit test.
+			var params scenario.Params
+			if s.Scale {
+				params = scenario.Params{Demands: 40, Size: 64, Networks: 8}
+			}
 			resp, err := e.Solve(context.Background(), &Request{
-				Algo:         s.DefaultAlgo,
-				Scenario:     s.Name,
-				ScenarioSeed: seed,
+				Algo:           s.DefaultAlgo,
+				Scenario:       s.Name,
+				ScenarioSeed:   seed,
+				ScenarioParams: params,
 			})
 			if err != nil {
 				t.Fatalf("%s seed %d (%s): %v", s.Name, seed, s.DefaultAlgo, err)
