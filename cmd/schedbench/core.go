@@ -9,11 +9,14 @@ import (
 )
 
 // runCoreBaseline is the `-core` mode: measure the solver cold path per
-// scenario×algo (see internal/bench.CoreBench) and either write the
-// BENCH_core.json report or, with -check, compare against a checked-in
-// baseline and exit non-zero on a cold-path regression (>25% on the
-// hardware-independent allocs/solve, or a catastrophic wall-clock blowup
-// — see bench.CheckCore).
+// scenario×algo plus the parallel-compile scale tier (serial vs
+// full-width model builds with per-phase breakdowns, and batch vs loop;
+// see internal/bench.CoreBench) and either write the BENCH_core.json
+// report or, with -check, compare against a checked-in baseline and exit
+// non-zero on a cold-path regression (>25% on the hardware-independent
+// allocs/solve, a catastrophic wall-clock blowup, or — on ≥4-core
+// runners — a missing/regressed parallel-compile speedup; see
+// bench.CheckCore and bench.checkScale).
 func runCoreBaseline(out, check string, quick bool) {
 	report, err := bench.CoreBench(quick)
 	if err != nil {
@@ -36,8 +39,8 @@ func runCoreBaseline(out, check string, quick bool) {
 			fmt.Fprintln(os.Stderr, "schedbench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("schedbench: cold path within bounds of %s across %d pairs\n",
-			check, len(report.Entries))
+		fmt.Printf("schedbench: cold path within bounds of %s across %d pairs, %d scale presets, %d batch presets\n",
+			check, len(report.Entries), len(report.ScaleEntries), len(report.BatchEntries))
 		return
 	}
 

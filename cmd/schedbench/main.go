@@ -16,8 +16,14 @@
 // result-cache-warm solves across three scenarios. The -core mode
 // benchmarks the solver itself — ns/solve and allocs/solve per
 // scenario×algorithm, cold (fresh compile) and warm (compiled reuse) —
-// and with -check fails on a >25% cold-path regression against the
-// checked-in baseline. The -online mode benchmarks the dynamic-session
+// plus the parallel-compile scale tier: serial vs full-width model
+// builds with per-phase breakdowns (decomp/layer/path/index ns) on the
+// scale presets, and CompileBatch/SolveBatch vs the one-at-a-time loop.
+// With -check it fails on a >25% cold-path regression against the
+// checked-in baseline, and on ≥4-core runners additionally requires a
+// ≥2x parallel-compile speedup on at least one scale preset (and no
+// >25% speedup slide against a multicore baseline). The -online mode
+// benchmarks the dynamic-session
 // path: delta re-solve (core.Compiled.WithJobs) vs cold compile+solve
 // per scenario × churn rate, gating the speedups with -check. The -dist
 // mode benchmarks the BSP substrate: the sharded worker-pool engine vs

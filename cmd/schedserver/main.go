@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	schedserver [-addr :8080] [-workers N] [-compiled-cache 64]
-//	            [-result-cache 512] [-max-demands 20000]
+//	schedserver [-addr :8080] [-workers N] [-compile-workers N]
+//	            [-compiled-cache 64] [-result-cache 512]
+//	            [-max-demands 20000]
 //
 // API:
 //
@@ -36,17 +37,19 @@ import (
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
-		workers       = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		compiledCache = flag.Int("compiled-cache", 64, "compiled-model cache entries")
-		resultCache   = flag.Int("result-cache", 512, "memoized-result cache entries")
-		maxDemands    = flag.Int("max-demands", 20000, "reject problems with more demands")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		addr           = flag.String("addr", ":8080", "listen address")
+		workers        = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		compileWorkers = flag.Int("compile-workers", 0, "model-build fan-out per compilation (0 = GOMAXPROCS, 1 = serial)")
+		compiledCache  = flag.Int("compiled-cache", 64, "compiled-model cache entries")
+		resultCache    = flag.Int("result-cache", 512, "memoized-result cache entries")
+		maxDemands     = flag.Int("max-demands", 20000, "reject problems with more demands")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
 
 	engine := service.New(service.Config{
 		Workers:           *workers,
+		CompileWorkers:    *compileWorkers,
 		CompiledCacheSize: *compiledCache,
 		ResultCacheSize:   *resultCache,
 		MaxDemands:        *maxDemands,

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"treesched/internal/instance"
+	"treesched/internal/par"
+	"treesched/internal/treedecomp"
+)
+
+// CompileBatch compiles many problems on a bounded worker pool and eagerly
+// builds each full model, so a following solve pass starts warm. workers
+// bounds the TOTAL goroutine fan-out (0 = GOMAXPROCS, ≤1 = serial):
+// problems are spread across the pool first, and whatever width is left
+// over (workers / len(ps), floored at 1) goes to each problem's internal
+// model-build shards — many small problems parallelize across items, few
+// huge ones parallelize inside the build. Results and errors are returned
+// in input order, one slot per problem; a failed slot leaves a nil
+// *Compiled and its error, and never disturbs its neighbours.
+func CompileBatch(ps []*instance.Problem, decomp treedecomp.Kind, workers int) ([]*Compiled, []error) {
+	w := par.Resolve(workers)
+	inner := w / max(1, len(ps))
+	if inner < 1 {
+		inner = 1
+	}
+	cs := make([]*Compiled, len(ps))
+	errs := make([]error, len(ps))
+	par.Each(w, len(ps), func(i int) {
+		c, err := Compile(ps[i], decomp)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		c.SetCompileWorkers(inner)
+		if _, err := c.Model(); err != nil {
+			errs[i] = err
+			return
+		}
+		cs[i] = c
+	})
+	return cs, errs
+}
+
+// SolveBatch runs fn over every compilation on a bounded worker pool
+// (workers: 0 = GOMAXPROCS, ≤1 = serial) and collects results and errors
+// in input order. Solves on distinct Compiled values are independent —
+// each draws scratch from its own pool — and solves sharing one Compiled
+// are safe too (the pools exist for exactly that), so fn only needs to be
+// safe for the i it is handed. Nil slots in cs (e.g. CompileBatch
+// failures) are skipped, leaving nil Result and nil error.
+func SolveBatch(cs []*Compiled, workers int, fn func(i int, c *Compiled) (*Result, error)) ([]*Result, []error) {
+	res := make([]*Result, len(cs))
+	errs := make([]error, len(cs))
+	par.Each(par.Resolve(workers), len(cs), func(i int) {
+		if cs[i] == nil {
+			return
+		}
+		res[i], errs[i] = fn(i, cs[i])
+	})
+	return res, errs
+}

@@ -133,6 +133,41 @@ type Compiled struct {
 	// parent generation's wide/narrow sub-models, consumed (under
 	// splitOnce) when this generation builds its own split.
 	adoptWide, adoptNarrow *solveScratch
+
+	// workers is the compile fan-out knob (model.Options.Workers
+	// semantics: 0 = GOMAXPROCS, 1 = the serial oracle) consumed by every
+	// lazy model build this compilation triggers. Set by
+	// SetCompileWorkers or adopted from Options.CompileWorkers at the
+	// entry points; stored atomically because concurrent first solves may
+	// carry different options. The knob only selects how many cores a
+	// build spends — the built model is byte-identical at every setting
+	// (pinned by the parallel-compile equivalence suite) — so whichever
+	// racing store lands before the once-guarded build wins harmlessly.
+	workers atomic.Int32
+}
+
+// SetCompileWorkers fixes the compile fan-out for every lazy model build
+// of this compilation: 0 (the default) uses GOMAXPROCS, 1 keeps the
+// serial path, n uses n workers. Output never depends on the setting.
+func (c *Compiled) SetCompileWorkers(w int) { c.workers.Store(int32(w)) }
+
+// compileWorkers returns the current fan-out knob for a model build.
+func (c *Compiled) compileWorkers() int {
+	w := int(c.workers.Load())
+	if w < 0 {
+		return 1
+	}
+	return w
+}
+
+// prep applies the option defaults and adopts a non-zero CompileWorkers
+// before any lazy build the call may trigger. Every compiled-model entry
+// point that accepts Options runs through it.
+func (c *Compiled) prep(opts Options) Options {
+	if opts.CompileWorkers != 0 {
+		c.workers.Store(int32(opts.CompileWorkers))
+	}
+	return opts.withDefaults()
 }
 
 // Compile validates p and prepares it for repeated solving. decomp
@@ -150,9 +185,15 @@ func (c *Compiled) Problem() *instance.Problem { return c.p }
 
 // fullModel lazily builds the full model (all instances), reusing
 // prebuilt tree decompositions when a previous generation supplies them.
+// The build fans out across compileWorkers() cores; the resulting model
+// is identical at any fan-out.
 func (c *Compiled) fullModel() (*solverModel, error) {
 	return c.full.get(func() (*model.Model, error) {
-		return model.Build(c.p, model.Options{DecompKind: c.decomp, Decomps: c.decompsHint})
+		return model.Build(c.p, model.Options{
+			DecompKind: c.decomp,
+			Decomps:    c.decompsHint,
+			Workers:    c.compileWorkers(),
+		})
 	})
 }
 
@@ -222,6 +263,7 @@ func (c *Compiled) sequentialModel() (*solverModel, error) {
 			DecompKind:     treedecomp.KindRootFixing,
 			CaptureWingsPi: true,
 			Decomps:        c.seqDecompsHint,
+			Workers:        c.compileWorkers(),
 		})
 	})
 }
@@ -232,7 +274,7 @@ func (c *Compiled) sequentialModel() (*solverModel, error) {
 // solve.
 func (c *Compiled) sequentialLineModel() (*solverModel, error) {
 	return c.seqLine.get(func() (*model.Model, error) {
-		m, err := model.Build(c.p, model.Options{})
+		m, err := model.Build(c.p, model.Options{Workers: c.compileWorkers()})
 		if err != nil {
 			return nil, err
 		}
@@ -350,6 +392,7 @@ func (c *Compiled) WithJobs(added []instance.Demand, removed []int) (*Compiled, 
 			return nil, err
 		}
 		nc.churn = c.churn
+		nc.workers.Store(c.workers.Load())
 		nc.seqDecompsHint = c.seqHint()
 		if parent != nil {
 			nc.decompsHint = parent.m.Decomps
@@ -371,6 +414,7 @@ func (c *Compiled) WithJobs(added []instance.Demand, removed []int) (*Compiled, 
 		decompsHint:    nm.Decomps,
 		seqDecompsHint: c.seqHint(),
 	}
+	nc.workers.Store(c.workers.Load())
 	sm := &solverModel{m: nm}
 	// Scratch adoption: hand one of the parent's pooled scratches to the
 	// child so the first re-solve reuses warm buffers instead of

@@ -43,7 +43,7 @@ func DistributedUnit(p *instance.Problem, opts Options) (*DistributedResult, err
 // DistributedUnit is the compiled-model form of the package-level
 // DistributedUnit.
 func (c *Compiled) DistributedUnit(opts Options) (*DistributedResult, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	p := c.p
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: DistributedUnit requires unit heights")
@@ -82,7 +82,7 @@ func DistributedPanconesiSozio(p *instance.Problem, opts Options) (*DistributedR
 // DistributedPanconesiSozio is the compiled-model form of the
 // package-level DistributedPanconesiSozio.
 func (c *Compiled) DistributedPanconesiSozio(opts Options) (*DistributedResult, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	p := c.p
 	if p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: DistributedPanconesiSozio is a line-network baseline (got %v)", p.Kind)
@@ -123,7 +123,7 @@ func DistributedNarrow(p *instance.Problem, opts Options) (*DistributedResult, e
 // DistributedNarrow is the compiled-model form of the package-level
 // DistributedNarrow.
 func (c *Compiled) DistributedNarrow(opts Options) (*DistributedResult, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	sm, err := c.fullModel()
 	if err != nil {
 		return nil, err

@@ -30,7 +30,7 @@ func SequentialLine(p *instance.Problem, opts Options) (*Result, error) {
 // SequentialLine. The end-slot critical sets (π(d) = {end(d)}, ∆ = 1) are
 // materialized once in the Compiled's dedicated line model.
 func (c *Compiled) SequentialLine(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	p := c.p
 	if p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: SequentialLine on %v problem", p.Kind)

@@ -26,7 +26,7 @@ func Sequential(p *instance.Problem, opts Options) (*Result, error) {
 // It uses the Compiled's lazily built Appendix-A model (root-fixing
 // decomposition, capture-wing critical sets), not the full model.
 func (c *Compiled) Sequential(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	p := c.p
 	if p.Kind != instance.KindTree {
 		return nil, fmt.Errorf("core: Sequential on %v problem", p.Kind)

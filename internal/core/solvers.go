@@ -66,6 +66,15 @@ type Options struct {
 	// byte-identical across all settings; only execution cost differs.
 	// Ignored by centralized drivers.
 	DistWorkers int
+	// CompileWorkers bounds the model-build fan-out of any lazy
+	// compilation this solve triggers: 0 keeps the compilation's current
+	// setting (default GOMAXPROCS), 1 (or any negative value) is the
+	// serial oracle path, ≥ 2 caps the goroutine count. Models are
+	// byte-identical at every setting — shard boundaries are fixed
+	// functions of the instance index and all reductions run serially —
+	// so this knob only moves compile wall-clock, never output.
+	// Centralized and distributed drivers alike.
+	CompileWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -138,7 +147,7 @@ func TreeUnit(p *instance.Problem, opts Options) (*Result, error) {
 
 // TreeUnit is the compiled-model form of the package-level TreeUnit.
 func (c *Compiled) TreeUnit(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	if c.p.Kind != instance.KindTree {
 		return nil, fmt.Errorf("core: TreeUnit on %v problem", c.p.Kind)
 	}
@@ -168,7 +177,7 @@ func LineUnit(p *instance.Problem, opts Options) (*Result, error) {
 
 // LineUnit is the compiled-model form of the package-level LineUnit.
 func (c *Compiled) LineUnit(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	if c.p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: LineUnit on %v problem", c.p.Kind)
 	}
@@ -207,7 +216,7 @@ func NarrowOnly(p *instance.Problem, opts Options) (*Result, error) {
 
 // NarrowOnly is the compiled-model form of the package-level NarrowOnly.
 func (c *Compiled) NarrowOnly(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	sm, err := c.fullModel()
 	if err != nil {
 		return nil, err
@@ -241,7 +250,7 @@ func Arbitrary(p *instance.Problem, opts Options) (*Result, error) {
 // in one class, which the combining step relies on (§6 "Overall
 // Algorithm"); the two sub-models are built once per Compiled.
 func (c *Compiled) Arbitrary(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	wideModel, narrowModel, err := c.splitModels()
 	if err != nil {
 		return nil, err
@@ -351,7 +360,7 @@ func PanconesiSozioUnit(p *instance.Problem, opts Options) (*Result, error) {
 // PanconesiSozioUnit is the compiled-model form of the package-level
 // PanconesiSozioUnit.
 func (c *Compiled) PanconesiSozioUnit(opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = c.prep(opts)
 	if c.p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("core: PanconesiSozioUnit is a line-network baseline (got %v)", c.p.Kind)
 	}

@@ -288,6 +288,48 @@ func (p *Problem) PathEdges(d Inst) []int32 {
 	return out
 }
 
+// PathLen returns len(PathEdges(d)) without materializing the path: the
+// tree distance U→V, or the slot count for lines. It is the counting
+// pass of the preallocated path build in model.Build.
+func (p *Problem) PathLen(d Inst) int {
+	if p.Kind == KindTree {
+		return p.Trees[d.Net].Dist(int(d.U), int(d.V))
+	}
+	return int(d.V - d.U + 1)
+}
+
+// FillPathEdges writes the global edge ids of instance d's path into dst
+// (len(dst) must be PathLen(d)), in exactly PathEdges order — ascending
+// from U to the LCA, then descending to V for trees; slot order for
+// lines. It is the allocation-free form of PathEdges used to materialize
+// paths directly into a preallocated CSR slab.
+func (p *Problem) FillPathEdges(dst []int32, d Inst) {
+	if p.Kind == KindLine {
+		for k, s := 0, d.U; s <= d.V; s++ {
+			dst[k] = p.GlobalEdge(int(d.Net), s)
+			k++
+		}
+		return
+	}
+	t := p.Trees[d.Net]
+	l := t.LCA(int(d.U), int(d.V))
+	k := 0
+	for x := int(d.U); x != l; x = t.Parent(x) {
+		dst[k] = p.GlobalEdge(int(d.Net), int32(x))
+		k++
+	}
+	// Edges from the LCA down to V are discovered bottom-up; reverse that
+	// suffix in place, mirroring Tree.PathEdges.
+	mark := k
+	for x := int(d.V); x != l; x = t.Parent(x) {
+		dst[k] = p.GlobalEdge(int(d.Net), int32(x))
+		k++
+	}
+	for i, j := mark, k-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
 // Overlap reports whether two instances share a network edge.
 func (p *Problem) Overlap(a, b Inst) bool {
 	if a.Net != b.Net {

@@ -20,8 +20,15 @@ import (
 
 	"treesched/internal/graph"
 	"treesched/internal/instance"
+	"treesched/internal/par"
 	"treesched/internal/treedecomp"
 )
+
+// rowShard is the instances-per-shard granule of the parallel row
+// construction. Row computation is a few tree walks (microseconds), so
+// shards are sized to amortize goroutine handoff while still load-
+// balancing trees of uneven depth across workers.
+const rowShard = 512
 
 // Assignment attaches a group (1-based epoch index) and a critical edge set
 // (global edge ids) to every demand instance, parallel to the instance
@@ -38,7 +45,22 @@ type Assignment struct {
 // given one tree decomposition per tree. Group 1 holds the instances
 // captured at the deepest decomposition nodes of their respective trees.
 func ForTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition) (*Assignment, error) {
-	return forTrees(p, insts, decomps, false)
+	return forTrees(p, insts, decomps, false, 1)
+}
+
+// ForTreesSharded is ForTrees with row construction sharded across a
+// bounded worker fan-out (workers: 0 = GOMAXPROCS, ≤1 = the serial
+// loop). Every row is a pure per-instance function written to its own
+// index slot and the Delta/NumGroups reduction runs serially afterwards,
+// so the Assignment is identical at any worker count.
+func ForTreesSharded(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition, workers int) (*Assignment, error) {
+	return forTrees(p, insts, decomps, false, workers)
+}
+
+// ForTreesCaptureWingsSharded is ForTreesCaptureWings with the sharded
+// row construction of ForTreesSharded.
+func ForTreesCaptureWingsSharded(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition, workers int) (*Assignment, error) {
+	return forTrees(p, insts, decomps, true, workers)
 }
 
 // ForTreesCaptureWings builds the Appendix-A ordering: the same
@@ -48,10 +70,10 @@ func ForTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.
 // property across same-depth captures of different nodes does NOT hold
 // for these critical sets.
 func ForTreesCaptureWings(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition) (*Assignment, error) {
-	return forTrees(p, insts, decomps, true)
+	return forTrees(p, insts, decomps, true, 1)
 }
 
-func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition, wingsOnly bool) (*Assignment, error) {
+func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.Decomposition, wingsOnly bool, workers int) (*Assignment, error) {
 	if p.Kind != instance.KindTree {
 		return nil, fmt.Errorf("layered: ForTrees on %v problem", p.Kind)
 	}
@@ -62,18 +84,27 @@ func forTrees(p *instance.Problem, insts []instance.Inst, decomps []*treedecomp.
 		Group: make([]int32, len(insts)),
 		Pi:    make([][]int32, len(insts)),
 	}
-	for i, d := range insts {
-		g, pi := TreeRow(p, d, decomps[d.Net], wingsOnly)
-		a.Group[i] = g
-		if int(g) > a.NumGroups {
-			a.NumGroups = int(g)
+	par.Shards(par.Resolve(workers), len(insts), rowShard, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Group[i], a.Pi[i] = TreeRow(p, insts[i], decomps[insts[i].Net], wingsOnly)
 		}
-		a.Pi[i] = pi
-		if len(pi) > a.Delta {
-			a.Delta = len(pi)
+	})
+	a.reduce()
+	return a, nil
+}
+
+// reduce recomputes the NumGroups/Delta maxima from the filled rows — a
+// serial pass, so the scalars never depend on worker scheduling.
+func (a *Assignment) reduce() {
+	a.NumGroups, a.Delta = 0, 0
+	for i := range a.Group {
+		if g := int(a.Group[i]); g > a.NumGroups {
+			a.NumGroups = g
+		}
+		if len(a.Pi[i]) > a.Delta {
+			a.Delta = len(a.Pi[i])
 		}
 	}
-	return a, nil
 }
 
 // TreeRow computes the layered row of one tree instance: its group
@@ -102,6 +133,14 @@ func TreeRow(p *instance.Problem, d instance.Inst, dec *treedecomp.Decomposition
 // problem. Instances of length in [2^(i-1)·Lmin, 2^i·Lmin) form group i;
 // π(d) = {start, mid, end} timeslots of the instance.
 func ForLines(p *instance.Problem, insts []instance.Inst) (*Assignment, error) {
+	return ForLinesSharded(p, insts, 1)
+}
+
+// ForLinesSharded is ForLines with the per-instance rows sharded across
+// workers (0 = GOMAXPROCS, ≤1 = serial). Lmin — the one global input of
+// the line rows — is computed by a serial pass first; everything after
+// is per-instance, so the result is identical at any worker count.
+func ForLinesSharded(p *instance.Problem, insts []instance.Inst, workers int) (*Assignment, error) {
 	if p.Kind != instance.KindLine {
 		return nil, fmt.Errorf("layered: ForLines on %v problem", p.Kind)
 	}
@@ -110,18 +149,13 @@ func ForLines(p *instance.Problem, insts []instance.Inst) (*Assignment, error) {
 		Pi:    make([][]int32, len(insts)),
 	}
 	lmin := LineLmin(insts)
-	for i, d := range insts {
-		g := LineGroup(d.Len(), lmin)
-		a.Group[i] = g
-		if int(g) > a.NumGroups {
-			a.NumGroups = int(g)
+	par.Shards(par.Resolve(workers), len(insts), rowShard, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Group[i] = LineGroup(insts[i].Len(), lmin)
+			a.Pi[i] = LinePi(p, insts[i])
 		}
-		pi := LinePi(p, d)
-		a.Pi[i] = pi
-		if len(pi) > a.Delta {
-			a.Delta = len(pi)
-		}
-	}
+	})
+	a.reduce()
 	return a, nil
 }
 

@@ -305,7 +305,7 @@ func (m *Model) FilterCopy(keep func(instance.Inst) bool) (*Model, error) {
 			nm.Group[i] = layered.LineGroup(nm.Insts[i].Len(), lmin)
 		}
 	}
-	if err := nm.finalize(); err != nil {
+	if err := nm.finalize(1); err != nil {
 		return nil, err
 	}
 	return nm, nil

@@ -10,9 +10,11 @@ package model
 
 import (
 	"fmt"
+	"time"
 
 	"treesched/internal/instance"
 	"treesched/internal/layered"
+	"treesched/internal/par"
 	"treesched/internal/treedecomp"
 )
 
@@ -84,6 +86,42 @@ type Options struct {
 	// capture node only, ∆ ≤ 2) instead of the Lemma 4.2 sets. Only the
 	// sequential algorithm may use this; tree problems only.
 	CaptureWingsPi bool
+	// Workers bounds the compile fan-out: 0 = GOMAXPROCS, 1 (or below) =
+	// the serial path, n = n workers. The built model is byte-identical
+	// at every setting — shard boundaries are fixed functions of index
+	// and results are stitched in index order — so Workers only chooses
+	// how many cores the build spends, never what it produces. Workers=1
+	// is kept as the equivalence oracle (plain loops, no goroutines).
+	Workers int
+	// Stats, when non-nil, receives the per-phase wall-clock breakdown of
+	// this build (decomposition / layering / paths / indexes). The hook
+	// behind the BENCH_core compile-phase columns; works at any Workers
+	// setting so the serial breakdown anchors the parallel one.
+	Stats *BuildStats
+}
+
+// BuildStats is the per-phase wall-clock breakdown of one Build call.
+type BuildStats struct {
+	// DecompNs is the tree-decomposition phase (0 for lines or when
+	// prebuilt decompositions were supplied via Options.Decomps).
+	DecompNs int64 `json:"decomp_ns"`
+	// LayerNs is the layered row construction (groups + critical sets).
+	LayerNs int64 `json:"layer_ns"`
+	// PathNs is the path materialization into the Paths CSR.
+	PathNs int64 `json:"path_ns"`
+	// IndexNs covers capacities, the consistency check and the derived
+	// indexes (InstsOf/GroupInsts/EdgeInsts).
+	IndexNs int64 `json:"index_ns"`
+	// TotalNs is the whole Build call.
+	TotalNs int64 `json:"total_ns"`
+}
+
+// phase records the elapsed time since *last into dst and resets *last —
+// the four calls a Build makes cost nanoseconds next to any phase.
+func (s *BuildStats) phase(dst *int64, last *time.Time) {
+	now := time.Now()
+	*dst += now.Sub(*last).Nanoseconds()
+	*last = now
 }
 
 // Build compiles p. The instance set is p.Expand() filtered by
@@ -116,38 +154,43 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 		filtered:     opts.Filter != nil,
 	}
 
+	workers := par.Resolve(opts.Workers)
+	stats := opts.Stats
+	if stats == nil {
+		stats = &BuildStats{} // throwaway: keeps the phase marks branch-free
+	}
+	last := time.Now()
+	begin := last
+
 	var asg *layered.Assignment
 	var err error
 	if p.Kind == instance.KindTree {
 		if opts.Decomps != nil {
 			m.Decomps = opts.Decomps
 		} else {
-			for _, t := range p.Trees {
-				m.Decomps = append(m.Decomps, treedecomp.Build(t, opts.DecompKind))
-			}
+			m.Decomps = treedecomp.BuildAll(p.Trees, opts.DecompKind, workers)
 		}
+		stats.phase(&stats.DecompNs, &last)
 		if opts.CaptureWingsPi {
-			asg, err = layered.ForTreesCaptureWings(p, insts, m.Decomps)
+			asg, err = layered.ForTreesCaptureWingsSharded(p, insts, m.Decomps, workers)
 		} else {
-			asg, err = layered.ForTrees(p, insts, m.Decomps)
+			asg, err = layered.ForTreesSharded(p, insts, m.Decomps, workers)
 		}
 	} else {
 		if opts.CaptureWingsPi {
 			return nil, fmt.Errorf("model: CaptureWingsPi is tree-only")
 		}
-		asg, err = layered.ForLines(p, insts)
+		asg, err = layered.ForLinesSharded(p, insts, workers)
 	}
 	if err != nil {
 		return nil, err
 	}
 	m.Pi = NewCSR(asg.Pi)
 	m.Group = asg.Group
+	stats.phase(&stats.LayerNs, &last)
 
-	m.Paths = CSR{Off: make([]int32, len(insts)+1)}
-	for i, d := range insts {
-		m.Paths.Data = append(m.Paths.Data, p.PathEdges(d)...)
-		m.Paths.Off[i+1] = int32(len(m.Paths.Data))
-	}
+	m.Paths = buildPaths(p, insts, workers)
+	stats.phase(&stats.PathNs, &last)
 
 	m.Cap = make([]float64, m.EdgeSpace)
 	for e := range m.Cap {
@@ -157,10 +200,41 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 		}
 	}
 
-	if err := m.finalize(); err != nil {
+	if err := m.finalize(workers); err != nil {
 		return nil, err
 	}
+	stats.phase(&stats.IndexNs, &last)
+	stats.TotalNs += time.Since(begin).Nanoseconds()
 	return m, nil
+}
+
+// pathShard is the instances-per-shard granule of the parallel path fill
+// (cheap per-instance work: one LCA walk or a slot loop).
+const pathShard = 1024
+
+// buildPaths materializes every instance path into one exactly-sized CSR:
+// a counted first pass over PathLen fixes each row's offset (replacing
+// the grow-by-append build, measurable by itself at the 10^5-instance
+// presets), then the rows are filled in place — sharded across workers,
+// each shard writing only its own rows, so the slab is byte-identical at
+// any fan-out.
+func buildPaths(p *instance.Problem, insts []instance.Inst, workers int) CSR {
+	off := make([]int32, len(insts)+1)
+	par.Shards(workers, len(insts), pathShard, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			off[i+1] = int32(p.PathLen(insts[i]))
+		}
+	})
+	for i := 0; i < len(insts); i++ {
+		off[i+1] += off[i]
+	}
+	data := make([]int32, off[len(insts)])
+	par.Shards(workers, len(insts), pathShard, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p.FillPathEdges(data[off[i]:off[i+1]], insts[i])
+		}
+	})
+	return CSR{Off: off, Data: data}
 }
 
 // finalize computes everything derivable from a model whose Insts, Paths,
@@ -169,20 +243,35 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 // InstsOf/GroupInsts/EdgeInsts indexes. Build and the incremental
 // rebuilds (WithDelta, FilterCopy) share it, so a delta-built model's
 // derived state is computed by the exact code a fresh Build runs.
-func (m *Model) finalize() error {
+//
+// With workers > 1 the independent pieces run concurrently — first
+// {InstsOf, check} (neither reads the other), then, only on a validated
+// model, {GroupInsts, EdgeInsts} — each writing its own field, so the
+// derived state is identical to the serial order.
+func (m *Model) finalize(workers int) error {
 	m.deriveScalars()
-	m.InstsOf = BucketCSR(m.NumDemands, len(m.Insts), func(i int32) int32 {
-		return m.Insts[i].Demand
-	})
-	if err := m.check(); err != nil {
-		return err
+	var checkErr error
+	par.Go(workers,
+		func() {
+			m.InstsOf = BucketCSR(m.NumDemands, len(m.Insts), func(i int32) int32 {
+				return m.Insts[i].Demand
+			})
+		},
+		func() { checkErr = m.check() },
+	)
+	if checkErr != nil {
+		return checkErr
 	}
 	// The derived indexes are built after check so their bucket functions
 	// only see validated groups and edge ids.
-	m.GroupInsts = BucketCSR(m.NumGroups, len(m.Insts), func(i int32) int32 {
-		return m.Group[i] - 1
-	})
-	m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace)
+	par.Go(workers,
+		func() {
+			m.GroupInsts = BucketCSR(m.NumGroups, len(m.Insts), func(i int32) int32 {
+				return m.Group[i] - 1
+			})
+		},
+		func() { m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace) },
+	)
 	return nil
 }
 

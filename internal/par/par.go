@@ -1,0 +1,107 @@
+// Package par holds the tiny bounded fan-out helpers the parallel
+// compile pipeline is built from. The helpers run work on a bounded
+// number of goroutines but never decide *what* is computed: callers
+// partition index space by fixed functions of the index alone, and every
+// unit writes only to its own preallocated slot, so results are
+// byte-identical at any worker count — workers ∈ {1, 2, GOMAXPROCS}
+// produce the same bytes, only the wall-clock differs. Workers == 1
+// short-circuits to a plain loop on the calling goroutine (the serial
+// equivalence oracle: no goroutines, no synchronization, today's cost
+// model exactly).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a worker knob to an effective worker count: 0 selects
+// GOMAXPROCS (use every core), anything below 1 is the serial path.
+func Resolve(workers int) int {
+	if workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		return 1
+	}
+	return workers
+}
+
+// Each runs fn(i) for every i in [0, n), on min(workers, n) goroutines
+// pulling indices from a shared atomic cursor. fn must confine its writes
+// to data owned by index i. workers is used as given (Resolve first).
+func Each(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Shards partitions [0, n) into contiguous shards of shardSize (the last
+// may be short) and runs fn(lo, hi) per shard through Each. Shard
+// boundaries are a fixed function of (n, shardSize) — never of workers —
+// which is what makes sharded writes stitch identically at any fan-out.
+func Shards(workers, n, shardSize int, fn func(lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if shardSize < 1 {
+		shardSize = 1
+	}
+	shards := (n + shardSize - 1) / shardSize
+	Each(workers, shards, func(s int) {
+		lo := s * shardSize
+		hi := lo + shardSize
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Go runs the given thunks concurrently (each on its own goroutine when
+// workers > 1, inline otherwise) and waits for all of them. For the
+// handful-of-independent-tasks shape: building a model's three derived
+// indexes at once.
+func Go(workers int, fns ...func()) {
+	if workers <= 1 || len(fns) <= 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func() {
+			defer wg.Done()
+			fn()
+		}()
+	}
+	wg.Wait()
+}

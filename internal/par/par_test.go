@@ -1,0 +1,84 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got, want := Resolve(0), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("Resolve(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	for _, w := range []int{-3, -1} {
+		if got := Resolve(w); got != 1 {
+			t.Fatalf("Resolve(%d) = %d, want 1", w, got)
+		}
+	}
+	for _, w := range []int{1, 2, 9} {
+		if got := Resolve(w); got != w {
+			t.Fatalf("Resolve(%d) = %d, want %d", w, got, w)
+		}
+	}
+}
+
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 100} {
+		for _, n := range []int{0, 1, 5, 1000} {
+			hits := make([]atomic.Int32, n)
+			Each(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestShardsBoundariesFixedAndComplete(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 2000} {
+		var wantShards [][2]int
+		Shards(1, n, 512, func(lo, hi int) { wantShards = append(wantShards, [2]int{lo, hi}) })
+		// Coverage: contiguous, in order, exactly [0, n).
+		at := 0
+		for _, s := range wantShards {
+			if s[0] != at || s[1] <= s[0] {
+				t.Fatalf("n=%d: shard %v at offset %d is not contiguous", n, s, at)
+			}
+			at = s[1]
+		}
+		if at != n {
+			t.Fatalf("n=%d: shards cover [0,%d)", n, at)
+		}
+		// Boundary set is identical at any worker count.
+		for _, workers := range []int{2, 5} {
+			seen := make(map[[2]int]bool)
+			var mu atomic.Int32
+			Shards(workers, n, 512, func(lo, hi int) {
+				for !mu.CompareAndSwap(0, 1) {
+				}
+				seen[[2]int{lo, hi}] = true
+				mu.Store(0)
+			})
+			if len(seen) != len(wantShards) {
+				t.Fatalf("n=%d workers=%d: %d shards, serial had %d", n, workers, len(seen), len(wantShards))
+			}
+			for _, s := range wantShards {
+				if !seen[s] {
+					t.Fatalf("n=%d workers=%d: missing shard %v", n, workers, s)
+				}
+			}
+		}
+	}
+}
+
+func TestGoRunsAllThunks(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var a, b, c atomic.Int32
+		Go(workers, func() { a.Add(1) }, func() { b.Add(1) }, func() { c.Add(1) })
+		if a.Load() != 1 || b.Load() != 1 || c.Load() != 1 {
+			t.Fatalf("workers=%d: thunks ran %d/%d/%d times", workers, a.Load(), b.Load(), c.Load())
+		}
+	}
+}

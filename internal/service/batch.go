@@ -1,0 +1,66 @@
+package service
+
+import "context"
+
+// BatchResult pairs one request's outcome with its error, in input order.
+type BatchResult struct {
+	Response *Response
+	Err      error
+}
+
+// SolveBatch executes many requests concurrently through the engine's
+// worker pool and returns their outcomes in input order, one slot per
+// request. It is the slice-form twin of the /batch NDJSON endpoint: both
+// run on the same ordered-concurrent scheduler (orderedSolves), so a
+// batch enjoys the same result memoization, compiled-model reuse and
+// bounded concurrency as a stream of individual Solve calls — but a
+// multi-problem batch overlaps its compilations instead of serializing
+// them behind one connection.
+func (e *Engine) SolveBatch(ctx context.Context, reqs []*Request) []BatchResult {
+	out := make([]BatchResult, 0, len(reqs))
+	i := 0
+	e.orderedSolves(
+		func() (func() any, bool) {
+			if i >= len(reqs) {
+				return nil, false
+			}
+			req := reqs[i]
+			i++
+			return func() any {
+				resp, err := e.Solve(ctx, req)
+				return BatchResult{Response: resp, Err: err}
+			}, true
+		},
+		func(v any) { out = append(out, v.(BatchResult)) },
+	)
+	return out
+}
+
+// orderedSolves is the shared scheduler of SolveBatch and /batch: it
+// pulls jobs from next until exhaustion, runs each on its own goroutine,
+// and hands results to emit in input order. The bounded future queue
+// keeps at most 2×Workers jobs in flight, back-pressuring next so an
+// unbounded stream never accumulates in memory; the engine's semaphore
+// still bounds the solves actually executing. emit runs on a single
+// goroutine.
+func (e *Engine) orderedSolves(next func() (func() any, bool), emit func(any)) {
+	futures := make(chan chan any, 2*e.cfg.Workers)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for fut := range futures {
+			emit(<-fut)
+		}
+	}()
+	for {
+		job, ok := next()
+		if !ok {
+			break
+		}
+		fut := make(chan any, 1)
+		futures <- fut // back-pressure: at most 2×Workers jobs in flight
+		go func() { fut <- job() }()
+	}
+	close(futures)
+	<-done
+}

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestSolveBatchMatchesIndividualSolves checks the slice batch API:
+// results come back in input order, each byte-identical to the response
+// an individual Solve returns, with per-slot errors held in-band.
+func TestSolveBatchMatchesIndividualSolves(t *testing.T) {
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	reqs := []*Request{
+		{Algo: "line-unit", Scenario: "videowall-line", ScenarioSeed: 1},
+		{Algo: "tree-unit", Scenario: "caterpillar-backbone", ScenarioSeed: 2},
+		{Algo: "nope", Scenario: "videowall-line"},
+		{Algo: "greedy", Scenario: "narrow-stream", ScenarioSeed: 3},
+		{Algo: "tree-unit", Scenario: "videowall-line", ScenarioSeed: 1}, // kind mismatch
+	}
+	got := e.SolveBatch(context.Background(), reqs)
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(got), len(reqs))
+	}
+
+	fresh := New(Config{Workers: 1})
+	defer fresh.Close()
+	for i, req := range reqs {
+		want, wantErr := fresh.Solve(context.Background(), req)
+		if (wantErr == nil) != (got[i].Err == nil) {
+			t.Fatalf("slot %d: err = %v, individual solve err = %v", i, got[i].Err, wantErr)
+		}
+		if wantErr != nil {
+			if got[i].Err.Error() != wantErr.Error() {
+				t.Fatalf("slot %d: err %q, want %q", i, got[i].Err, wantErr)
+			}
+			continue
+		}
+		gj, _ := json.Marshal(got[i].Response)
+		wj, _ := json.Marshal(want)
+		if string(gj) != string(wj) {
+			t.Fatalf("slot %d: batch response differs from individual solve:\n  %s\nvs\n  %s", i, gj, wj)
+		}
+	}
+}

@@ -81,25 +81,13 @@ func (e *Engine) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 // handleBatch streams NDJSON: each input line is one Request, each
 // output line the matching Response (or an error object) in input
-// order. Lines are solved concurrently through the engine's worker
-// pool; the bounded future queue applies back-pressure to the reader so
-// an unbounded stream does not accumulate in memory.
+// order. Lines run through orderedSolves — the same ordered-concurrent
+// scheduler behind Engine.SolveBatch — whose bounded future queue
+// applies back-pressure to the reader so an unbounded stream does not
+// accumulate in memory.
 func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
-
-	futures := make(chan chan []byte, 2*e.cfg.Workers)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		flusher, _ := w.(http.Flusher)
-		for fut := range futures {
-			w.Write(<-fut) // nolint:errcheck — keep draining on client loss
-			w.Write([]byte("\n"))
-			if flusher != nil {
-				flusher.Flush()
-			}
-		}
-	}()
+	flusher, _ := w.(http.Flusher)
 
 	encodeLine := func(v any) []byte {
 		data, err := json.Marshal(v)
@@ -111,30 +99,36 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxRequestBytes)
-	for sc.Scan() {
-		line := make([]byte, len(sc.Bytes()))
-		copy(line, sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		fut := make(chan []byte, 1)
-		futures <- fut // back-pressure: at most 2×Workers lines in flight
-		go func() {
-			var req Request
-			if err := json.Unmarshal(line, &req); err != nil {
-				fut <- encodeLine(errorBody{Error: fmt.Sprintf("decode request: %v", err)})
-				return
+	e.orderedSolves(
+		func() (func() any, bool) {
+			for sc.Scan() {
+				line := make([]byte, len(sc.Bytes()))
+				copy(line, sc.Bytes())
+				if len(line) == 0 {
+					continue
+				}
+				return func() any {
+					var req Request
+					if err := json.Unmarshal(line, &req); err != nil {
+						return encodeLine(errorBody{Error: fmt.Sprintf("decode request: %v", err)})
+					}
+					resp, err := e.Solve(r.Context(), &req)
+					if err != nil {
+						return encodeLine(errorBody{Error: err.Error()})
+					}
+					return encodeLine(resp)
+				}, true
 			}
-			resp, err := e.Solve(r.Context(), &req)
-			if err != nil {
-				fut <- encodeLine(errorBody{Error: err.Error()})
-				return
+			return nil, false
+		},
+		func(v any) {
+			w.Write(v.([]byte)) // nolint:errcheck — keep draining on client loss
+			w.Write([]byte("\n"))
+			if flusher != nil {
+				flusher.Flush()
 			}
-			fut <- encodeLine(resp)
-		}()
-	}
-	close(futures)
-	<-done
+		},
+	)
 	if err := sc.Err(); err != nil {
 		// The stream is already partially written; append a final error
 		// line rather than a status code.

@@ -43,6 +43,11 @@ var ErrClosed = errors.New("service: engine closed")
 type Config struct {
 	// Workers bounds concurrently executing solves (default GOMAXPROCS).
 	Workers int
+	// CompileWorkers bounds the model-build fan-out of each compilation
+	// the engine performs (core.Options.CompileWorkers semantics: 0 =
+	// GOMAXPROCS, 1 = serial). Compilation output never depends on it, so
+	// it is not part of any cache key. Default 0.
+	CompileWorkers int
 	// CompiledCacheSize is the max number of compiled problem models kept
 	// (default 64).
 	CompiledCacheSize int
@@ -414,6 +419,7 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
+		c.SetCompileWorkers(e.cfg.CompileWorkers)
 		e.compiled.add(hash, c)
 	}
 

@@ -1,0 +1,22 @@
+package treedecomp
+
+import (
+	"treesched/internal/graph"
+	"treesched/internal/par"
+)
+
+// BuildAll builds one decomposition per tree on a bounded worker fan-out
+// (workers: 0 = GOMAXPROCS, ≤1 = serial). Each Build is a pure function
+// of (tree, kind) and writes only its own result slot, so the returned
+// slice is identical at any worker count; only the wall-clock differs.
+// At the scale presets (thousands of networks) the per-tree builds are
+// the dominant cold-compile phase, and they are embarrassingly parallel
+// — the same independence across networks the paper's distributed
+// rounds exploit.
+func BuildAll(trees []*graph.Tree, kind Kind, workers int) []*Decomposition {
+	out := make([]*Decomposition, len(trees))
+	par.Each(par.Resolve(workers), len(trees), func(i int) {
+		out[i] = Build(trees[i], kind)
+	})
+	return out
+}

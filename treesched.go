@@ -213,6 +213,24 @@ type CompiledProblem = core.Compiled
 // CompileProblem validates and compiles p for repeated solving.
 func CompileProblem(p *Problem) (*CompiledProblem, error) { return core.Compile(p, 0) }
 
+// CompileBatch compiles many problems on a bounded worker pool (workers:
+// 0 = GOMAXPROCS, 1 = serial) and eagerly builds each model. Results and
+// errors come back in input order, one slot per problem; a failed slot is
+// a nil CompiledProblem with its error. Each compiled model is
+// byte-identical to the one CompileProblem would build serially.
+func CompileBatch(ps []*Problem, workers int) ([]*CompiledProblem, []error) {
+	return core.CompileBatch(ps, 0, workers)
+}
+
+// SolveBatch runs fn over many compiled problems on a bounded worker pool
+// (workers: 0 = GOMAXPROCS, 1 = serial), collecting results and errors in
+// input order. Solves draw from each compilation's pooled scratch, so a
+// warm batch allocates almost nothing beyond its results. Nil slots in cs
+// (CompileBatch failures) are skipped.
+func SolveBatch(cs []*CompiledProblem, workers int, fn func(i int, c *CompiledProblem) (*Result, error)) ([]*Result, []error) {
+	return core.SolveBatch(cs, workers, fn)
+}
+
 // Engine is the concurrent scheduling service: a bounded worker pool, a
 // compiled-instance LRU cache keyed on a canonical problem hash, full
 // result memoization, and structured metrics. cmd/schedserver serves it
@@ -228,6 +246,9 @@ type SolveRequest = service.Request
 
 // SolveResponse is the deterministic solver output for a SolveRequest.
 type SolveResponse = service.Response
+
+// BatchResult is one request's outcome from Engine.SolveBatch.
+type BatchResult = service.BatchResult
 
 // NewEngine builds a scheduling service engine.
 func NewEngine(cfg EngineConfig) *Engine { return service.New(cfg) }
