@@ -6,7 +6,7 @@
 //
 //	schedserver [-addr :8080] [-workers N] [-compile-workers N]
 //	            [-compiled-cache 64] [-result-cache 512]
-//	            [-max-demands 20000]
+//	            [-max-demands 20000] [-pprof]
 //
 // API:
 //
@@ -15,7 +15,9 @@
 //	POST /batch      NDJSON stream of solve requests -> NDJSON responses
 //	GET  /scenarios  preset library + algorithm registry
 //	GET  /healthz    liveness
-//	GET  /metrics    request/cache/latency counters
+//	GET  /metrics    request/cache/latency counters (JSON)
+//	GET  /metrics.prom  the same counters in Prometheus text format
+//	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // Responses are deterministic: equal requests (same problem or scenario
 // seed, algorithm and options) return byte-identical JSON, cold or
@@ -28,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -44,6 +47,7 @@ func main() {
 		resultCache    = flag.Int("result-cache", 512, "memoized-result cache entries")
 		maxDemands     = flag.Int("max-demands", 20000, "reject problems with more demands")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		enablePprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiles expose internals)")
 	)
 	flag.Parse()
 
@@ -55,9 +59,24 @@ func main() {
 		MaxDemands:        *maxDemands,
 	})
 
+	handler := engine.Handler()
+	if *enablePprof {
+		// Wrap rather than touch the engine mux: the service package stays
+		// free of debug endpoints, and the opt-in is visible in one place.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("schedserver: pprof enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           engine.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

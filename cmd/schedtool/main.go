@@ -10,7 +10,11 @@
 //	               -n/-nets/-demands flags override the preset sizing)
 //	schedtool solve -algo tree-unit|line-unit|arbitrary|narrow|sequential|
 //	                     exact|greedy|ps|dist-unit|dist-narrow|dist-ps
-//	               [-eps 0.25] [-seed 1] [-o result.json] < problem.json
+//	               [-eps 0.25] [-seed 1] [-o result.json]
+//	               [-trace-out timeline.json] < problem.json
+//	               (-trace-out writes the solve's phase timeline — compile,
+//	               phase1 epochs/stages, verify, phase2 — as telemetry JSON;
+//	               the solver output is byte-identical with or without it)
 //	schedtool verify -solution sol.json < problem.json
 //	schedtool scenarios
 //	schedtool trace  -scenario videowall-line [-seed 1] [-churn 0.1]
@@ -40,6 +44,7 @@ import (
 	"treesched/internal/conflict"
 	"treesched/internal/core"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 )
 
 // exitInfeasible is the dedicated exit code for verification failures,
@@ -243,10 +248,17 @@ func cmdSolve(args []string) {
 	fixed := fs.Bool("fixed", false, "fixed-rounds schedule for dist-* algorithms")
 	trace := fs.Bool("trace", false, "include the first-phase execution profile")
 	out := fs.String("o", "", "write output to file instead of stdout")
+	traceOut := fs.String("trace-out", "", "write the solve's phase-timeline telemetry JSON to this file")
 	parseFlags(fs, args)
 
 	p := readProblem(os.Stdin)
-	opts := treesched.Options{Epsilon: *eps, Seed: *seed, FixedRounds: *fixed, CollectTrace: *trace}
+	// tel stays nil without -trace-out: the telemetry hooks in core are
+	// nil-safe no-ops, so the default path does zero observability work.
+	var tel *obs.Trace
+	if *traceOut != "" {
+		tel = obs.NewTrace()
+	}
+	opts := treesched.Options{Epsilon: *eps, Seed: *seed, FixedRounds: *fixed, CollectTrace: *trace, Telemetry: tel}
 	var (
 		res *treesched.Result
 		net *core.DistributedResult
@@ -266,9 +278,17 @@ func cmdSolve(args []string) {
 	case "seq-line":
 		res, err = treesched.SolveSequentialLine(p, opts)
 	case "exact":
-		res, err = treesched.SolveExact(p, 0)
+		// Exact and Greedy take no Options; their telemetry hook is the
+		// explicit *Traced variant on the compiled form.
+		var c *core.Compiled
+		if c, err = core.Compile(p, 0); err == nil {
+			res, err = c.ExactTraced(0, tel)
+		}
 	case "greedy":
-		res, err = treesched.SolveGreedy(p)
+		var c *core.Compiled
+		if c, err = core.Compile(p, 0); err == nil {
+			res, err = c.GreedyTraced(tel)
+		}
 	case "ps":
 		res, err = treesched.SolvePanconesiSozio(p, opts)
 	case "dist-unit":
@@ -292,8 +312,11 @@ func cmdSolve(args []string) {
 	if err != nil {
 		die(err)
 	}
-	if err := treesched.VerifySolution(p, res.Selected); err != nil {
-		dieInfeasible(fmt.Errorf("solver emitted infeasible solution: %w", err))
+	vsp := tel.Begin("verify_solution")
+	verr := treesched.VerifySolution(p, res.Selected)
+	tel.End(vsp)
+	if verr != nil {
+		dieInfeasible(fmt.Errorf("solver emitted infeasible solution: %w", verr))
 	}
 	sol := solveOutput{
 		Algorithm:      res.Name,
@@ -315,6 +338,9 @@ func cmdSolve(args []string) {
 		sol.MISPhases = res.Trace.MISPhases
 	}
 	writeOutput(*out, sol)
+	if tel != nil {
+		writeOutput(*traceOut, tel.Export())
+	}
 }
 
 func cmdVerify(args []string) {

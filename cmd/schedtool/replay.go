@@ -22,6 +22,7 @@ import (
 	"os"
 	"sort"
 
+	"treesched/internal/obs"
 	"treesched/internal/online"
 	"treesched/internal/online/trace"
 )
@@ -134,9 +135,12 @@ func cmdReplay(args []string) {
 
 // reportLatency summarizes per-event latency by operation class: the
 // interesting split is cheap staging events (add/remove) vs resolve
-// events, and within resolves, delta-path vs full recompiles.
+// events, and within resolves, delta-path vs full recompiles. The
+// quantiles come from internal/obs histograms — the one quantile
+// implementation the repo has — so the replay report, /metrics and the
+// bench reports all agree on bucketing and rank definitions.
 func reportLatency(w io.Writer, tr *trace.Trace, outcomes []trace.Outcome, sess *online.Session) {
-	classes := map[string][]int64{}
+	classes := map[string]*obs.Histogram{}
 	for _, o := range outcomes {
 		key := o.Op
 		if o.Op == "resolve" {
@@ -146,7 +150,12 @@ func reportLatency(w io.Writer, tr *trace.Trace, outcomes []trace.Outcome, sess 
 				key = "resolve(full)"
 			}
 		}
-		classes[key] = append(classes[key], o.LatencyNS)
+		h := classes[key]
+		if h == nil {
+			h = new(obs.Histogram)
+			classes[key] = h
+		}
+		h.Observe(o.LatencyNS)
 	}
 	names := make([]string, 0, len(classes))
 	for n := range classes {
@@ -158,15 +167,9 @@ func reportLatency(w io.Writer, tr *trace.Trace, outcomes []trace.Outcome, sess 
 		tr.Header.Name, tr.Header.Algo, len(outcomes), st.Jobs,
 		st.Resolves, st.IncrementalResolves, st.FullResolves, st.CachedResolves)
 	for _, n := range names {
-		lat := classes[n]
-		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-		sum := int64(0)
-		for _, v := range lat {
-			sum += v
-		}
-		q := func(p float64) int64 { return lat[int(p*float64(len(lat)-1))] }
-		fmt.Fprintf(w, "  %-14s n=%-4d mean=%8.1fµs  p50=%8.1fµs  p95=%8.1fµs  max=%8.1fµs\n",
-			n, len(lat), float64(sum)/float64(len(lat))/1e3,
-			float64(q(0.50))/1e3, float64(q(0.95))/1e3, float64(lat[len(lat)-1])/1e3)
+		s := classes[n].Summarize()
+		fmt.Fprintf(w, "  %-14s n=%-4d mean=%8.1fµs  p50=%8.1fµs  p90=%8.1fµs  p99=%8.1fµs  max=%8.1fµs\n",
+			n, s.Count, s.MeanNs/1e3,
+			float64(s.P50Ns)/1e3, float64(s.P90Ns)/1e3, float64(s.P99Ns)/1e3, float64(s.MaxNs)/1e3)
 	}
 }

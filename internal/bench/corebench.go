@@ -11,12 +11,14 @@ package bench
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	"treesched/internal/core"
 	"treesched/internal/instance"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 	"treesched/internal/scenario"
 )
 
@@ -86,6 +88,11 @@ type CoreReport struct {
 	// BatchEntries tracks CompileBatch/SolveBatch against the equivalent
 	// one-at-a-time loop over the same problems.
 	BatchEntries []CoreBatchEntry `json:"batch_entries,omitempty"`
+	// ObsEntries tracks the telemetry tier: warm solves with tracing off
+	// vs on, the enabled-tracing overhead, the phase breakdown of the
+	// traced run and latency quantiles across runs. CheckCore gates
+	// OverheadPct at maxObsOverheadPct.
+	ObsEntries []CoreObsEntry `json:"obs_entries,omitempty"`
 }
 
 // CoreScalePair names one scale preset of the parallel-compile tier and
@@ -151,11 +158,74 @@ type CoreBatchEntry struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// CoreObsPair names one telemetry-overhead workload: a scale preset, the
+// solver driven over it, and the sized-down -quick substitution.
+type CoreObsPair struct {
+	Scenario string
+	Algo     string
+	Quick    scenario.Params
+}
+
+// CoreObsPairs lists the telemetry-overhead workloads: the three scale
+// presets, spanning the centralized line path, the centralized tree path
+// and the message-passing runtime (whose per-round sampling is the
+// busiest telemetry surface).
+var CoreObsPairs = []CoreObsPair{
+	{"line-100k", "line-unit", scenario.Params{Demands: 20_000, Size: 256, Networks: 2048}},
+	{"random-tree-50k", "tree-unit", scenario.Params{Demands: 10_000, Size: 64, Networks: 1024}},
+	{"caterpillar-20k", "dist-unit", scenario.Params{Demands: 5_000, Size: 48, Networks: 256}},
+}
+
+// CoreObsEntry is the measured telemetry cost of one pair: the same warm
+// solve best-of-N with Options.Telemetry nil (the production default)
+// and with a fresh obs.Trace attached, the relative overhead, the phase
+// breakdown of the fastest traced run, and a latency summary over every
+// run (both modes) from the obs histogram — the same quantile machinery
+// /metrics and schedtool replay report through.
+type CoreObsEntry struct {
+	Scenario string `json:"scenario"`
+	Algo     string `json:"algo"`
+	Demands  int    `json:"demands"`
+	Runs     int    `json:"runs"`
+	// Quick marks a sized-down -quick measurement. Solves at quick size
+	// finish in single-digit milliseconds, where both scheduler jitter
+	// and the fixed per-span cost are a visible fraction of the run; the
+	// strict overhead gate applies only to full-size measurements, quick
+	// ones get the loose smoke backstop (see checkObs).
+	Quick bool `json:"quick,omitempty"`
+
+	PlainNsPerSolve  int64 `json:"plain_ns_per_solve"`
+	TracedNsPerSolve int64 `json:"traced_ns_per_solve"`
+	// OverheadPct is the enabled-tracing overhead, taken as the smaller
+	// of two noise-robust estimates: the median of per-round
+	// traced/plain ratios (each round times the two modes back to back,
+	// in alternating order, so a load burst hits both sides of its pair)
+	// and the ratio of the best traced run to the best plain run (each
+	// mode's quietest moment). A shared runner's noise inflates either
+	// estimate only under sustained one-sided load, but a real
+	// systematic overhead — present in every round — shifts both.
+	// Negative estimates (tracing "faster") read as zero.
+	OverheadPct float64 `json:"overhead_pct"`
+
+	// PhaseNs maps each top-level span of the fastest traced run
+	// (compile, phase1, verify_lambda, phase2, assemble, protocol) to its
+	// duration.
+	PhaseNs map[string]int64 `json:"phase_ns"`
+	// SolveLatency summarizes per-run wall time across all runs of both
+	// modes.
+	SolveLatency obs.Summary `json:"solve_latency"`
+}
+
 // coreSolve dispatches one solve on a compiled problem. It mirrors the
 // service registry for the tracked algorithms only; options are fixed so
 // every measurement exercises the identical deterministic run.
 func coreSolve(c *core.Compiled, algo string) error {
-	opts := core.Options{Seed: 1}
+	return coreSolveOpts(c, algo, core.Options{Seed: 1})
+}
+
+// coreSolveOpts is coreSolve with explicit options (the telemetry tier
+// attaches Options.Telemetry).
+func coreSolveOpts(c *core.Compiled, algo string, opts core.Options) error {
 	var err error
 	switch algo {
 	case "tree-unit":
@@ -224,7 +294,9 @@ func CoreBench(quick bool) (*CoreReport, error) {
 			"(Workers=1) vs full-width cold model builds with per-phase " +
 			"breakdowns on the Scale presets; batch_entries = one-at-a-time " +
 			"loop vs CompileBatch/SolveBatch (parallel speedup gates apply " +
-			"only on >=4-core runners)",
+			"only on >=4-core runners); obs_entries = warm solves with " +
+			"tracing off vs on (enabled-tracing overhead gated at 3%) with " +
+			"phase breakdowns and latency quantiles",
 		Regenerate:        "go run ./cmd/schedbench -core -o BENCH_core.json",
 		GoVersion:         runtime.Version(),
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
@@ -281,7 +353,130 @@ func CoreBench(quick bool) (*CoreReport, error) {
 		return nil, err
 	}
 	report.BatchEntries = append(report.BatchEntries, *batch)
+	for _, pair := range CoreObsPairs {
+		entry, err := obsBench(pair, quick)
+		if err != nil {
+			return nil, err
+		}
+		report.ObsEntries = append(report.ObsEntries, *entry)
+	}
 	return report, nil
+}
+
+// obsRuns is the per-mode run count of the telemetry tier: enough
+// paired rounds for a stable median and best-of on multi-millisecond
+// solves without dominating the harness.
+const obsRuns = 7
+
+// obsBench measures one telemetry workload: the identical warm solve
+// with tracing off and on. Both modes produce byte-identical results
+// (TestTelemetryEquivalence pins this), so the two columns measure
+// exactly the observability cost.
+func obsBench(pair CoreObsPair, quick bool) (*CoreObsEntry, error) {
+	s, ok := scenario.Get(pair.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown obs scenario %q", pair.Scenario)
+	}
+	params := scenario.Params{}
+	runs := obsRuns
+	if quick {
+		// Quick sizes solve in single-digit milliseconds where scheduler
+		// jitter is a few percent per run; more paired rounds (still cheap
+		// at these sizes) keep the 3% gate out of the noise.
+		params = pair.Quick
+		runs = 9
+	}
+	p, err := s.Generate(params, 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %v", pair.Scenario, err)
+	}
+	c, err := core.Compile(p, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %v", pair.Scenario, err)
+	}
+	// Warm the lazy model and scratch pools out of the measurement.
+	if err := coreSolve(c, pair.Algo); err != nil {
+		return nil, fmt.Errorf("bench: %s/%s warmup: %v", pair.Scenario, pair.Algo, err)
+	}
+
+	entry := &CoreObsEntry{
+		Scenario: pair.Scenario,
+		Algo:     pair.Algo,
+		Demands:  len(p.Demands),
+		Runs:     runs,
+		Quick:    quick,
+	}
+	hist := new(obs.Histogram)
+	run := func(opts core.Options) (int64, *obs.Trace, error) {
+		begin := time.Now()
+		if err := coreSolveOpts(c, pair.Algo, opts); err != nil {
+			return 0, nil, err
+		}
+		ns := time.Since(begin).Nanoseconds()
+		hist.Observe(ns)
+		return ns, opts.Telemetry, nil
+	}
+	var bestTrace *obs.Trace
+	ratios := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		var pns, tns int64
+		var tel *obs.Trace
+		// Alternate which mode runs first so time-correlated machine load
+		// (GC pacing, a neighbor's burst) cannot systematically land on
+		// one side of every pair.
+		measure := func() error {
+			var err error
+			if pns, _, err = run(core.Options{Seed: 1}); err != nil {
+				return fmt.Errorf("bench: %s/%s plain: %v", pair.Scenario, pair.Algo, err)
+			}
+			return nil
+		}
+		measureTraced := func() error {
+			var err error
+			if tns, tel, err = run(core.Options{Seed: 1, Telemetry: obs.NewTrace()}); err != nil {
+				return fmt.Errorf("bench: %s/%s traced: %v", pair.Scenario, pair.Algo, err)
+			}
+			return nil
+		}
+		first, second := measure, measureTraced
+		if r%2 == 1 {
+			first, second = measureTraced, measure
+		}
+		if err := first(); err != nil {
+			return nil, err
+		}
+		if err := second(); err != nil {
+			return nil, err
+		}
+		if entry.PlainNsPerSolve == 0 || pns < entry.PlainNsPerSolve {
+			entry.PlainNsPerSolve = pns
+		}
+		if entry.TracedNsPerSolve == 0 || tns < entry.TracedNsPerSolve {
+			entry.TracedNsPerSolve = tns
+			bestTrace = tel
+		}
+		if pns > 0 {
+			ratios = append(ratios, float64(tns)/float64(pns))
+		}
+	}
+	if len(ratios) > 0 && entry.PlainNsPerSolve > 0 {
+		sort.Float64s(ratios)
+		est := ratios[len(ratios)/2]
+		if best := float64(entry.TracedNsPerSolve) / float64(entry.PlainNsPerSolve); best < est {
+			est = best
+		}
+		if est > 1 {
+			entry.OverheadPct = (est - 1) * 100
+		}
+	}
+	entry.PhaseNs = make(map[string]int64)
+	for _, sp := range bestTrace.Spans() {
+		if sp.Parent == obs.NoSpan && sp.DurNs > 0 {
+			entry.PhaseNs[sp.Name] += sp.DurNs
+		}
+	}
+	entry.SolveLatency = hist.Summarize()
+	return entry, nil
 }
 
 // buildRuns is the best-of count of the scale-tier builds: the presets
@@ -463,11 +658,54 @@ func CheckCore(current, baseline *CoreReport, tolerance float64) error {
 		}
 	}
 	failures = append(failures, checkScale(current, baseline)...)
+	failures = append(failures, checkObs(current)...)
 	if len(failures) > 0 {
 		return fmt.Errorf("bench: cold-path regression against BENCH_core.json:\n  %s",
 			strings.Join(failures, "\n  "))
 	}
 	return nil
+}
+
+// maxObsOverheadPct is the enabled-tracing overhead ceiling at the full
+// scale-preset sizes: a traced warm solve may cost at most this much
+// more than the identical untraced solve. The zero-overhead invariant
+// for tracing *off* is pinned exactly (alloc-budget and equivalence
+// tests); this gate bounds the cost of turning it on.
+const maxObsOverheadPct = 3.0
+
+// quickObsOverheadPct is the smoke backstop for -quick measurements:
+// quick solves finish in milliseconds, where the fixed per-span cost
+// and shared-runner jitter are each a visible fraction of the run and
+// a 3% margin carries no signal. The loose bound still catches
+// catastrophic regressions — tracing accidentally enabled on the plain
+// path, a quadratic counter search — without flaking on noise.
+const quickObsOverheadPct = 25.0
+
+// minObsGateNs is the smallest plain solve the overhead gate judges:
+// below ~1ms, scheduler jitter swamps any margin and the comparison
+// carries no signal.
+const minObsGateNs = int64(time.Millisecond)
+
+// checkObs gates the telemetry tier on the current report alone — the
+// overhead bound is absolute, not relative to a baseline.
+func checkObs(current *CoreReport) []string {
+	var failures []string
+	for i := range current.ObsEntries {
+		e := &current.ObsEntries[i]
+		if e.PlainNsPerSolve < minObsGateNs {
+			continue
+		}
+		limit := maxObsOverheadPct
+		if e.Quick {
+			limit = quickObsOverheadPct
+		}
+		if e.OverheadPct > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%s: enabled-tracing overhead %.2f%% (plain %d ns, traced %d ns; > allowed %.1f%%)",
+				e.Scenario, e.Algo, e.OverheadPct, e.PlainNsPerSolve, e.TracedNsPerSolve, limit))
+		}
+	}
+	return failures
 }
 
 // scaleGateProcs is the smallest GOMAXPROCS at which the parallel-compile

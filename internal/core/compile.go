@@ -8,6 +8,7 @@ import (
 	"treesched/internal/instance"
 	"treesched/internal/lp"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 	"treesched/internal/treedecomp"
 )
 
@@ -29,6 +30,7 @@ import (
 // MIS buffers instead of reallocating them (see solveScratch).
 type solverModel struct {
 	m        *model.Model
+	stats    model.BuildStats // per-phase build cost of m (zero for copies)
 	once     sync.Once
 	mis      misFunc
 	ncliques int
@@ -63,14 +65,18 @@ type lazyModel struct {
 	err   error
 }
 
-func (l *lazyModel) get(build func() (*model.Model, error)) (*solverModel, error) {
+// get builds through a closure that receives the BuildStats sink, so
+// every lazy build's per-phase cost is captured on the solverModel and
+// later solves can attach it to their compile spans.
+func (l *lazyModel) get(build func(st *model.BuildStats) (*model.Model, error)) (*solverModel, error) {
 	l.once.Do(func() {
-		m, err := build()
+		var st model.BuildStats
+		m, err := build(&st)
 		if err != nil {
 			l.err = err
 			return
 		}
-		l.sm = &solverModel{m: m}
+		l.sm = &solverModel{m: m, stats: st}
 		l.ready.Store(true)
 	})
 	return l.sm, l.err
@@ -188,13 +194,36 @@ func (c *Compiled) Problem() *instance.Problem { return c.p }
 // The build fans out across compileWorkers() cores; the resulting model
 // is identical at any fan-out.
 func (c *Compiled) fullModel() (*solverModel, error) {
-	return c.full.get(func() (*model.Model, error) {
+	return c.full.get(func(st *model.BuildStats) (*model.Model, error) {
 		return model.Build(c.p, model.Options{
 			DecompKind: c.decomp,
 			Decomps:    c.decompsHint,
 			Workers:    c.compileWorkers(),
+			Stats:      st,
 		})
 	})
+}
+
+// telModel wraps a lazy model getter in a "compile" span on tel. The
+// span times this call's share of compilation — near zero when the
+// model is already built — while the attached build_* counters always
+// describe the model's original build cost (model.BuildStats), so a
+// trace can tell "compiled here" from "served from the compile cache".
+func telModel(tel *obs.Trace, get func() (*solverModel, error)) (*solverModel, error) {
+	if tel == nil {
+		return get()
+	}
+	sp := tel.Begin("compile")
+	sm, err := get()
+	if err == nil && sm.stats.TotalNs > 0 {
+		tel.Add(sp, "build_total_ns", sm.stats.TotalNs)
+		tel.Add(sp, "build_decomp_ns", sm.stats.DecompNs)
+		tel.Add(sp, "build_layer_ns", sm.stats.LayerNs)
+		tel.Add(sp, "build_path_ns", sm.stats.PathNs)
+		tel.Add(sp, "build_index_ns", sm.stats.IndexNs)
+	}
+	tel.End(sp)
+	return sm, err
 }
 
 // Model returns the full compiled model, building it on first use.
@@ -258,12 +287,13 @@ func (c *Compiled) splitModels() (wide, narrow *solverModel, err error) {
 // decompositions and capture-wing critical sets (∆ ≤ 2). A delta
 // generation reuses the parent's root-fixing decompositions.
 func (c *Compiled) sequentialModel() (*solverModel, error) {
-	return c.seqTree.get(func() (*model.Model, error) {
+	return c.seqTree.get(func(st *model.BuildStats) (*model.Model, error) {
 		return model.Build(c.p, model.Options{
 			DecompKind:     treedecomp.KindRootFixing,
 			CaptureWingsPi: true,
 			Decomps:        c.seqDecompsHint,
 			Workers:        c.compileWorkers(),
+			Stats:          st,
 		})
 	})
 }
@@ -273,8 +303,8 @@ func (c *Compiled) sequentialModel() (*solverModel, error) {
 // rewrite happens once here so the shared model is never mutated by a
 // solve.
 func (c *Compiled) sequentialLineModel() (*solverModel, error) {
-	return c.seqLine.get(func() (*model.Model, error) {
-		m, err := model.Build(c.p, model.Options{Workers: c.compileWorkers()})
+	return c.seqLine.get(func(st *model.BuildStats) (*model.Model, error) {
+		m, err := model.Build(c.p, model.Options{Workers: c.compileWorkers(), Stats: st})
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"treesched/internal/lp"
 	"treesched/internal/mis"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 )
 
 // This file is the shared protocol engine behind every Distributed*
@@ -168,17 +169,33 @@ func (cfg *distProtocol) run(p *instance.Problem, m *model.Model) (*DistributedR
 		return e
 	}
 	tr := dist.NewLocalTransport(p.CommGraph())
+	tel := cfg.opts.Telemetry
+	var rl *obs.RoundLog
+	if tel != nil {
+		rl = &obs.RoundLog{}
+	}
+	sp := tel.Begin("protocol")
 	var stats dist.Stats
 	if cfg.opts.DistWorkers < 0 {
-		stats = dist.RunProcsBlocking(tr, mk)
+		stats = dist.RunProcsBlockingObserved(tr, mk, rl)
 	} else {
-		stats = dist.RunProcs(tr, cfg.opts.DistWorkers, mk)
+		stats = dist.RunProcsObserved(tr, cfg.opts.DistWorkers, mk, rl)
 	}
+	if tel != nil {
+		tel.Add(sp, "rounds", int64(stats.Rounds))
+		tel.Add(sp, "aggregations", int64(stats.Aggregations))
+		tel.Add(sp, "messages", stats.Messages)
+		tel.Add(sp, "entries", stats.Entries)
+		tel.AddRounds(rl.Samples)
+	}
+	tel.End(sp)
 	for _, e := range machines {
 		if e != nil && e.err != nil {
 			return nil, e.err
 		}
 	}
+	sp = tel.Begin("assemble")
+	defer tel.End(sp)
 	return assembleDistributed(cfg.name, m, cfg.rule, cfg.sched, nodes, stats, cfg.bound)
 }
 

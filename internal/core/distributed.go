@@ -48,7 +48,7 @@ func (c *Compiled) DistributedUnit(opts Options) (*DistributedResult, error) {
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: DistributedUnit requires unit heights")
 	}
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +93,7 @@ func (c *Compiled) DistributedPanconesiSozio(opts Options) (*DistributedResult, 
 	if opts.FixedRounds {
 		return nil, fmt.Errorf("core: FixedRounds requires a multi-stage schedule")
 	}
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func DistributedNarrow(p *instance.Problem, opts Options) (*DistributedResult, e
 // DistributedNarrow.
 func (c *Compiled) DistributedNarrow(opts Options) (*DistributedResult, error) {
 	opts = c.prep(opts)
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"treesched/internal/instance"
 	"treesched/internal/lp"
+	"treesched/internal/obs"
 )
 
 // ErrExactTooLarge is returned when branch and bound exceeds its node
@@ -27,7 +28,14 @@ func Exact(p *instance.Problem, maxNodes int64) (*Result, error) {
 
 // Exact is the compiled-model form of the package-level Exact.
 func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
-	sm, err := c.fullModel()
+	return c.ExactTraced(maxNodes, nil)
+}
+
+// ExactTraced is Exact with a phase timeline recorded on tel (Exact
+// takes no Options, so the telemetry hook is explicit here). A nil tel
+// is exactly Exact.
+func (c *Compiled) ExactTraced(maxNodes int64, tel *obs.Trace) (*Result, error) {
+	sm, err := telModel(tel, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -57,6 +65,7 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 		}
 	}
 
+	sp := tel.Begin("search")
 	load := make([]float64, m.EdgeSpace)
 	used := make([]bool, m.NumDemands)
 	var best float64
@@ -107,9 +116,16 @@ func (c *Compiled) Exact(maxNodes int64) (*Result, error) {
 		// Branch 2: skip i.
 		return dfs(k+1, profit)
 	}
-	if err := dfs(0, 0); err != nil {
+	err = dfs(0, 0)
+	if tel != nil {
+		tel.Add(sp, "nodes", nodes)
+	}
+	tel.End(sp)
+	if err != nil {
 		return nil, err
 	}
+	sp = tel.Begin("assemble")
+	defer tel.End(sp)
 	res := &Result{Name: "exact", Lambda: 1, Bound: 1, Model: m}
 	slices.Sort(bestSet)
 	for _, i := range bestSet {
@@ -133,12 +149,21 @@ func Greedy(p *instance.Problem) (*Result, error) {
 
 // Greedy is the compiled-model form of the package-level Greedy.
 func (c *Compiled) Greedy() (*Result, error) {
-	sm, err := c.fullModel()
+	return c.GreedyTraced(nil)
+}
+
+// GreedyTraced is Greedy with a phase timeline recorded on tel (Greedy
+// takes no Options, so the telemetry hook is explicit here). A nil tel
+// is exactly Greedy.
+func (c *Compiled) GreedyTraced(tel *obs.Trace) (*Result, error) {
+	sm, err := telModel(tel, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
 	m := sm.m
 	n := len(m.Insts)
+	sp := tel.Begin("select")
+	defer tel.End(sp)
 	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)

@@ -25,6 +25,7 @@ import (
 	"treesched/internal/lp"
 	"treesched/internal/mis"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 )
 
 // Schedule fixes the first-phase loop structure: epochs (one per layer
@@ -301,13 +302,17 @@ func (sc *solveScratch) reset() {
 // push the set. It returns the dual assignment and the stack.
 func Phase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64, trace *Trace) (*lp.Duals, []StackEntry, error) {
 	misFn, nc := newMISFunc(m)
-	return phase1(m, misFn, rule, sched, seed, trace, newSolveScratch(m, nc))
+	return phase1(m, misFn, rule, sched, seed, trace, nil, newSolveScratch(m, nc))
 }
 
 // phase1 is Phase1 with the MIS routine and scratch supplied by the
 // caller (cached and pooled in a solverModel, or freshly built). The
 // returned duals and stack alias the scratch: a pooling caller must
-// finish with them before releasing it.
+// finish with them before releasing it. A non-nil tel records one span
+// per epoch with per-stage child spans (steps, raises, Luby MIS phase
+// counts); tel is read-only observation and never alters the
+// computation — with tel == nil the loop pays one predictable branch
+// per stage and per step.
 //
 // The active set is tracked incrementally instead of rescanned: each
 // stage starts with one scan of the epoch's layer-group bucket, and each
@@ -318,7 +323,7 @@ func Phase1(m *model.Model, rule lp.Rule, sched Schedule, seed uint64, trace *Tr
 // cannot change and the tracked set stays exactly the rescan set; the
 // equivalence suite asserts byte-identical duals and stacks against a
 // full-rescan reference.
-func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed uint64, trace *Trace, sc *solveScratch) (*lp.Duals, []StackEntry, error) {
+func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed uint64, trace *Trace, tel *obs.Trace, sc *solveScratch) (*lp.Duals, []StackEntry, error) {
 	sc.reset()
 	duals := &sc.duals
 	active := sc.active
@@ -358,12 +363,18 @@ func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed ui
 	}
 
 	for k := 1; k <= sched.Epochs; k++ {
+		epochSpan := tel.Begin("epoch")
 		var group []int32
 		if k <= m.GroupInsts.Rows() {
 			group = m.GroupInsts.Row(int32(k - 1))
 		}
 		var stageSteps []int
 		for j := 1; j <= sched.Stages; j++ {
+			stageSpan := obs.NoSpan
+			var stageRaises, stagePhases int
+			if tel != nil {
+				stageSpan = tel.Begin("stage")
+			}
 			threshold = sched.Thresholds[j-1]
 			// U = group-k instances that are threshold-unsatisfied. One
 			// bucket scan per stage — cached LHS reads, so only instances
@@ -387,6 +398,10 @@ func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed ui
 				set, phases := misFn(sc.mis, active, prio)
 				if trace != nil {
 					trace.MISPhases += phases
+				}
+				if tel != nil {
+					stagePhases += phases
+					stageRaises += len(set)
 				}
 				// The MIS scratch reuses its output buffer, so the set is
 				// copied into the solve's arena before it is retained.
@@ -422,10 +437,17 @@ func phase1(m *model.Model, misFn misFunc, rule lp.Rule, sched Schedule, seed ui
 			if trace != nil {
 				stageSteps = append(stageSteps, steps)
 			}
+			if tel != nil {
+				tel.Add(stageSpan, "steps", int64(steps))
+				tel.Add(stageSpan, "raises", int64(stageRaises))
+				tel.Add(stageSpan, "mis_phases", int64(stagePhases))
+				tel.End(stageSpan)
+			}
 		}
 		if trace != nil {
 			trace.StepsPerStage = append(trace.StepsPerStage, stageSteps)
 		}
+		tel.End(epochSpan)
 	}
 	return duals, sc.stack, nil
 }

@@ -38,7 +38,8 @@ func (c *Compiled) SequentialLine(opts Options) (*Result, error) {
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: SequentialLine requires unit heights")
 	}
-	sm, err := c.sequentialLineModel()
+	tel := opts.Telemetry
+	sm, err := telModel(tel, c.sequentialLineModel)
 	if err != nil {
 		return nil, err
 	}
@@ -64,6 +65,7 @@ func (c *Compiled) SequentialLine(opts Options) (*Result, error) {
 	}
 	var stack []StackEntry
 	step := 0
+	sp := tel.Begin("phase1")
 	for _, i := range order {
 		if lp.Satisfied(rule, m, duals, i, 1.0) {
 			continue
@@ -77,10 +79,21 @@ func (c *Compiled) SequentialLine(opts Options) (*Result, error) {
 		}
 		stack = append(stack, StackEntry{Epoch: 1, Stage: 1, Step: step, Set: []int32{i}})
 	}
+	if tel != nil {
+		tel.Add(sp, "raises", int64(step))
+	}
+	tel.End(sp)
+	sp = tel.Begin("verify_lambda")
 	if err := lp.VerifyLambdaSatisfied(rule, m, duals, 1.0); err != nil {
+		tel.End(sp)
 		return nil, fmt.Errorf("core: sequential-line (λ=1): %w: %v", ErrCertificate, err)
 	}
+	tel.End(sp)
+	sp = tel.Begin("phase2")
 	sel := Phase2(m, stack)
+	tel.End(sp)
+	sp = tel.Begin("assemble")
+	defer tel.End(sp)
 	res := &Result{Name: "sequential-line", Lambda: 1, Bound: 2, Trace: trace, Model: m}
 	for _, i := range sel {
 		res.Selected = append(res.Selected, m.Insts[i])

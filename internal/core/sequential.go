@@ -34,7 +34,8 @@ func (c *Compiled) Sequential(opts Options) (*Result, error) {
 	if !p.UnitHeight() {
 		return nil, fmt.Errorf("core: Sequential requires unit heights")
 	}
-	sm, err := c.sequentialModel()
+	tel := opts.Telemetry
+	sm, err := telModel(tel, c.sequentialModel)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +72,7 @@ func (c *Compiled) Sequential(opts Options) (*Result, error) {
 	}
 	var stack []StackEntry
 	step := 0
+	sp := tel.Begin("phase1")
 	// One pass suffices: raising an instance never lowers any LHS, and
 	// every instance is examined in σ order — exactly the "earliest
 	// unsatisfied" loop of Figure 8.
@@ -91,10 +93,21 @@ func (c *Compiled) Sequential(opts Options) (*Result, error) {
 			Set: []int32{i},
 		})
 	}
+	if tel != nil {
+		tel.Add(sp, "raises", int64(step))
+	}
+	tel.End(sp)
+	sp = tel.Begin("verify_lambda")
 	if err := lp.VerifyLambdaSatisfied(rule, m, duals, 1.0); err != nil {
+		tel.End(sp)
 		return nil, fmt.Errorf("core: sequential (λ=1): %w: %v", ErrCertificate, err)
 	}
+	tel.End(sp)
+	sp = tel.Begin("phase2")
 	sel := Phase2(m, stack)
+	tel.End(sp)
+	sp = tel.Begin("assemble")
+	defer tel.End(sp)
 	res := &Result{
 		Name:   "sequential",
 		Lambda: 1,

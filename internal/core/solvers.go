@@ -6,6 +6,7 @@ import (
 	"treesched/internal/instance"
 	"treesched/internal/lp"
 	"treesched/internal/model"
+	"treesched/internal/obs"
 	"treesched/internal/treedecomp"
 )
 
@@ -75,6 +76,20 @@ type Options struct {
 	// so this knob only moves compile wall-clock, never output.
 	// Centralized and distributed drivers alike.
 	CompileWorkers int
+	// Telemetry, when non-nil, records a phase-level span timeline of the
+	// solve — compile (with the model.BuildStats breakdown when this call
+	// performed the build), Phase1 per epoch and stage (steps, raises,
+	// Luby MIS phases), the λ-certificate verification, Phase2 and result
+	// assembly, plus per-superstep round samples for the distributed
+	// drivers. Telemetry is strictly read-only observation: it never
+	// perturbs results (the equivalence suite pins byte-identical output
+	// with and without it), and a nil Telemetry costs only predictable
+	// nil-checks on the hot path (the alloc-budget tests pin warm-solve
+	// allocation counts unchanged). A Trace belongs to one solve call on
+	// one goroutine; concurrent solves need one Trace each. The serving
+	// layer strips Telemetry from cache keys — it never identifies a
+	// result.
+	Telemetry *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -97,23 +112,39 @@ var ErrCertificate = fmt.Errorf("slackness certificate failed")
 // consumed before the deferred release, and only the Result escapes.
 func runPhases(name string, sm *solverModel, rule lp.Rule, sched Schedule, opts Options, bound float64) (*Result, error) {
 	m := sm.m
+	tel := opts.Telemetry
 	var trace *Trace
 	if opts.CollectTrace {
 		trace = &Trace{}
 	}
 	sc := sm.acquire()
 	defer sm.release(sc)
-	duals, stack, err := phase1(m, sm.misFn(), rule, sched, opts.Seed, trace, sc)
+	sp := tel.Begin("phase1")
+	duals, stack, err := phase1(m, sm.misFn(), rule, sched, opts.Seed, trace, tel, sc)
 	if err != nil {
+		tel.End(sp)
 		return nil, err
 	}
+	if tel != nil {
+		tel.Add(sp, "stack_sets", int64(len(stack)))
+	}
+	tel.End(sp)
+	sp = tel.Begin("verify_lambda")
 	if len(m.Insts) > 0 {
 		if err := lp.VerifyLambdaSatisfied(rule, m, duals, sched.Lambda); err != nil {
+			tel.End(sp)
 			return nil, fmt.Errorf("core: %s: %w: %v", name, ErrCertificate, err)
 		}
 	}
+	tel.End(sp)
+	sp = tel.Begin("phase2")
 	sel := phase2(m, stack, sc.load, sc.used, sc.selected[:0])
 	sc.selected = sel
+	if tel != nil {
+		tel.Add(sp, "selected", int64(len(sel)))
+	}
+	tel.End(sp)
+	sp = tel.Begin("assemble")
 	res := &Result{
 		Name:   name,
 		Lambda: sched.Lambda,
@@ -129,6 +160,7 @@ func runPhases(name string, sm *solverModel, rule lp.Rule, sched Schedule, opts 
 	if res.Profit > 0 {
 		res.CertifiedRatio = res.DualUB / res.Profit
 	}
+	tel.End(sp)
 	return res, nil
 }
 
@@ -154,7 +186,7 @@ func (c *Compiled) TreeUnit(opts Options) (*Result, error) {
 	if !c.p.UnitHeight() {
 		return nil, fmt.Errorf("core: TreeUnit requires unit heights; use TreeArbitrary")
 	}
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +216,7 @@ func (c *Compiled) LineUnit(opts Options) (*Result, error) {
 	if !c.p.UnitHeight() {
 		return nil, fmt.Errorf("core: LineUnit requires unit heights; use LineArbitrary")
 	}
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +249,7 @@ func NarrowOnly(p *instance.Problem, opts Options) (*Result, error) {
 // NarrowOnly is the compiled-model form of the package-level NarrowOnly.
 func (c *Compiled) NarrowOnly(opts Options) (*Result, error) {
 	opts = c.prep(opts)
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +283,10 @@ func Arbitrary(p *instance.Problem, opts Options) (*Result, error) {
 // Algorithm"); the two sub-models are built once per Compiled.
 func (c *Compiled) Arbitrary(opts Options) (*Result, error) {
 	opts = c.prep(opts)
+	tel := opts.Telemetry
+	sp := tel.Begin("compile")
 	wideModel, narrowModel, err := c.splitModels()
+	tel.End(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +402,7 @@ func (c *Compiled) PanconesiSozioUnit(opts Options) (*Result, error) {
 	if !c.p.UnitHeight() {
 		return nil, fmt.Errorf("core: PanconesiSozioUnit requires unit heights")
 	}
-	sm, err := c.fullModel()
+	sm, err := telModel(opts.Telemetry, c.fullModel)
 	if err != nil {
 		return nil, err
 	}

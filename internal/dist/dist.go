@@ -40,7 +40,12 @@
 // false, and the remaining processors keep advancing — no deadlock.
 package dist
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"treesched/internal/obs"
+)
 
 // Message is one delivered payload.
 type Message struct {
@@ -126,11 +131,22 @@ func Run(adj [][]int32, body func(*API)) Stats {
 
 // RunOn executes body once per processor on an arbitrary Transport.
 func RunOn(tr Transport, body func(*API)) Stats {
+	return RunOnObserved(tr, body, nil)
+}
+
+// RunOnObserved is RunOn with per-superstep telemetry: when rl is
+// non-nil, every completed collective appends one obs.RoundSample
+// (kind, messages, entries, and the wall time since the previous
+// round's completion). Sampling never alters the execution — Stats and
+// every observation stream are identical with rl nil or not — and a
+// nil rl costs one pointer check per round.
+func RunOnObserved(tr Transport, body func(*API), rl *obs.RoundLog) Stats {
 	n := tr.NumNodes()
 	if n == 0 {
 		return Stats{}
 	}
 	c := newCoordinator(tr, n)
+	c.observe(rl)
 	var wg sync.WaitGroup
 	for u := 0; u < n; u++ {
 		wg.Add(1)
@@ -177,6 +193,19 @@ type coordinator struct {
 	aggResult bool        // result of the last completed aggregation
 
 	stats Stats
+
+	// rl, when non-nil, receives one sample per completed collective;
+	// lastMark anchors each sample's StepNs at the previous completion.
+	rl       *obs.RoundLog
+	lastMark time.Time
+}
+
+// observe attaches a round log before the first round.
+func (c *coordinator) observe(rl *obs.RoundLog) {
+	c.rl = rl
+	if rl != nil {
+		c.lastMark = time.Now()
+	}
 }
 
 func newCoordinator(tr Transport, n int) *coordinator {
@@ -231,15 +260,34 @@ func (c *coordinator) finishRound() {
 		for i := range c.out {
 			c.out[i] = nil
 		}
+		if c.rl != nil {
+			c.sample("exchange", msgs, entries)
+		}
 	case opAggregate:
 		c.stats.Aggregations++
 		c.aggResult = c.vote
 		c.vote = false
+		if c.rl != nil {
+			c.sample("aggregate", 0, 0)
+		}
 	}
 	c.kind = opNone
 	c.waiting = 0
 	c.seq++
 	c.cond.Broadcast()
+}
+
+// sample appends one round sample. Caller holds c.mu and has checked
+// c.rl != nil, so the unobserved path never reads the clock.
+func (c *coordinator) sample(kind string, msgs, entries int64) {
+	now := time.Now()
+	c.rl.Add(obs.RoundSample{
+		Kind:     kind,
+		Messages: msgs,
+		Entries:  entries,
+		StepNs:   now.Sub(c.lastMark).Nanoseconds(),
+	})
+	c.lastMark = now
 }
 
 // depart removes a processor whose body returned from the barrier group.

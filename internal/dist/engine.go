@@ -60,6 +60,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"treesched/internal/obs"
 )
 
 // OpKind names the collective operation a resumable processor requests.
@@ -112,6 +115,15 @@ type Proc interface {
 // processor's observation stream are identical to RunProcsBlocking(tr, mk)
 // — and so to the goroutine-per-processor runtime — for any worker count.
 func RunProcs(tr Transport, workers int, mk func(u int) Proc) Stats {
+	return RunProcsObserved(tr, workers, mk, nil)
+}
+
+// RunProcsObserved is RunProcs with per-superstep telemetry: a non-nil
+// rl receives one obs.RoundSample per completed collective. The sample
+// sequence (kind, messages, entries) is byte-identical to the one
+// RunOnObserved records for the same protocol — only StepNs, a wall
+// measurement, differs. A nil rl costs one pointer check per round.
+func RunProcsObserved(tr Transport, workers int, mk func(u int) Proc, rl *obs.RoundLog) Stats {
 	n := tr.NumNodes()
 	if n == 0 {
 		return Stats{}
@@ -123,6 +135,7 @@ func RunProcs(tr Transport, workers int, mk func(u int) Proc) Stats {
 		workers = n
 	}
 	e := newPoolEngine(tr, n, workers, mk)
+	e.observe(rl)
 	e.run()
 	return e.stats
 }
@@ -133,7 +146,14 @@ func RunProcs(tr Transport, workers int, mk func(u int) Proc) Stats {
 // reference semantics of RunProcs, the equivalence-test oracle, and the
 // benchmark anchor the pool engine is measured against.
 func RunProcsBlocking(tr Transport, mk func(u int) Proc) Stats {
-	return RunOn(tr, func(api *API) {
+	return RunProcsBlockingObserved(tr, mk, nil)
+}
+
+// RunProcsBlockingObserved is RunProcsBlocking with the round log of
+// RunOnObserved attached — the observed analogue on the
+// goroutine-per-processor runtime.
+func RunProcsBlockingObserved(tr Transport, mk func(u int) Proc, rl *obs.RoundLog) Stats {
+	return RunOnObserved(tr, func(api *API) {
 		p := mk(api.ID())
 		var in In
 		for {
@@ -149,7 +169,7 @@ func RunProcsBlocking(tr Transport, mk func(u int) Proc) Stats {
 				panic(fmt.Sprintf("dist: invalid OpKind %d", req.Op))
 			}
 		}
-	})
+	}, rl)
 }
 
 // shardState is one worker's private slice of the engine plus its round
@@ -193,6 +213,35 @@ type poolEngine struct {
 	senders   []int32 // global ascending sender list of the round
 
 	stats Stats
+
+	// rl, when non-nil, receives one sample per completed collective:
+	// aggregates sample at barrier 1 (combine), exchanges at barrier 2
+	// (tally), once the round's delivery counts exist. Both leader
+	// actions run with every worker parked, so the appends are ordered
+	// exactly like the blocking coordinator's. lastMark anchors StepNs.
+	rl       *obs.RoundLog
+	lastMark time.Time
+}
+
+// observe attaches a round log before the first round.
+func (e *poolEngine) observe(rl *obs.RoundLog) {
+	e.rl = rl
+	if rl != nil {
+		e.lastMark = time.Now()
+	}
+}
+
+// sample appends one round sample. Called only from a barrier leader
+// action with e.rl already checked non-nil.
+func (e *poolEngine) sample(kind string, msgs, entries int64) {
+	now := time.Now()
+	e.rl.Add(obs.RoundSample{
+		Kind:     kind,
+		Messages: msgs,
+		Entries:  entries,
+		StepNs:   now.Sub(e.lastMark).Nanoseconds(),
+	})
+	e.lastMark = now
 }
 
 func newPoolEngine(tr Transport, n, workers int, mk func(u int) Proc) *poolEngine {
@@ -367,15 +416,24 @@ func (e *poolEngine) combine() {
 	case opAggregate:
 		e.stats.Aggregations++
 		e.aggResult = vote
+		if e.rl != nil {
+			e.sample("aggregate", 0, 0)
+		}
 	}
 }
 
 // tally is the barrier-2 leader action: sum the per-shard delivery
 // counts of an exchange round.
 func (e *poolEngine) tally() {
+	var msgs, entries int64
 	for w := range e.shards {
-		e.stats.Messages += e.shards[w].msgs
-		e.stats.Entries += e.shards[w].entries
+		msgs += e.shards[w].msgs
+		entries += e.shards[w].entries
+	}
+	e.stats.Messages += msgs
+	e.stats.Entries += entries
+	if e.rl != nil {
+		e.sample("exchange", msgs, entries)
 	}
 }
 

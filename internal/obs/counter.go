@@ -1,0 +1,71 @@
+// Package obs is the repo's dependency-free instrumentation layer:
+// lock-free sharded counters and gauges, log-bucketed latency
+// histograms with quantile extraction, and a cheap span recorder
+// (Trace) for per-solve phase timelines.
+//
+// The package-wide discipline is zero overhead when disabled: every
+// Trace method is nil-safe and a nil *Trace performs no time reads and
+// no allocations, so solver hot paths can be instrumented
+// unconditionally and pay only a predictable nil-check when telemetry
+// is off. Counters and histograms are always-on primitives meant for
+// the serving tier, where a single atomic add per request is the
+// budget.
+package obs
+
+import (
+	"math/rand/v2"
+	"sync/atomic"
+)
+
+// counterShards is the stripe width of a Counter. Power of two so the
+// shard pick is a mask. 16 shards × 64-byte padding = 1KiB per
+// counter, enough to spread a hot request counter across cores without
+// making per-algo counter maps expensive.
+const counterShards = 16
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte // pad to a cache line so shards don't false-share
+}
+
+// Counter is a lock-free monotonically written counter striped across
+// cache-line-padded shards. Add picks a shard with the runtime's
+// per-core fast RNG, so concurrent writers rarely contend on the same
+// cache line; Load sums the stripes and is exact regardless of shard
+// placement.
+type Counter struct {
+	shards [counterShards]paddedInt64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	c.shards[rand.Uint32()&(counterShards-1)].v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the exact current total.
+func (c *Counter) Load() int64 {
+	var sum int64
+	for i := range c.shards {
+		sum += c.shards[i].v.Load()
+	}
+	return sum
+}
+
+// Gauge is a single atomic instantaneous value (in-flight requests,
+// open sessions). Gauges move both ways and are read at their write
+// rate, so striping buys nothing — one atomic is the right cost.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by d (d may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram buckets are log-linear: each power-of-two octave is split
+// into 2^histSubBits equal-width sub-buckets, so any value inside a
+// bucket is within bucketWidth/bucketLo ≤ 2^-histSubBits = 1/16 of the
+// bucket bounds. Values below histSubCount get exact unit buckets.
+// That bounds the relative error of any quantile estimate at 1/16
+// (6.25%) — tight enough for latency SLOs, cheap enough that Observe
+// is two atomic adds, a CAS-max loop, and a bit scan.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // sub-buckets per octave
+
+	// Octaves cover exponents histSubBits..62 (int64 range) plus the
+	// exact block for values < histSubCount.
+	histBlocks  = 64 - histSubBits
+	histBuckets = histBlocks * histSubCount
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram safe for
+// concurrent Observe. Counts are exact (atomic per-bucket adds);
+// Snapshot is taken bucket-by-bucket and is consistent enough for
+// monitoring (concurrent Observes may straddle a snapshot but are
+// never lost).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBucketOf maps a non-negative value to its bucket index.
+func histBucketOf(v int64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := 63 - bits.LeadingZeros64(uint64(v)) // floor(log2 v) ≥ histSubBits
+	sub := int((uint64(v) >> (exp - histSubBits)) & (histSubCount - 1))
+	return (exp-histSubBits+1)*histSubCount + sub
+}
+
+// histBucketBounds returns the [lo, hi) value range of bucket i.
+func histBucketBounds(i int) (lo, hi int64) {
+	block, sub := i/histSubCount, int64(i%histSubCount)
+	if block == 0 {
+		return sub, sub + 1
+	}
+	exp := uint(block - 1 + histSubBits)
+	width := int64(1) << (exp - histSubBits)
+	lo = int64(1)<<exp + sub*width
+	hi = lo + width
+	if hi < lo { // the final bucket's bound is 2^63; clamp into int64
+		hi = math.MaxInt64
+	}
+	return lo, hi
+}
+
+// histRepresentative is the value reported for a quantile landing in
+// bucket i: exact for the unit block, bucket midpoint otherwise (which
+// halves the worst-case error versus either bound).
+func histRepresentative(i int) int64 {
+	lo, hi := histBucketBounds(i)
+	if hi-lo <= 1 {
+		return lo
+	}
+	return lo + (hi-lo)/2
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	h.buckets[histBucketOf(v)].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram's state.
+type HistSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	buckets [histBuckets]int64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile returns the nearest-rank q-quantile estimate (q in [0,1])
+// from the snapshot: the representative value of the bucket holding
+// the ceil(q·count)-th smallest observation. Zero if empty.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	n := s.Count
+	if n <= 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := range s.buckets {
+		cum += s.buckets[i]
+		if cum >= rank {
+			// A bucket representative is its upper bound, which can
+			// overshoot the exactly-tracked max when the largest
+			// observation sits low in the last occupied bucket; clamp so
+			// no quantile estimate exceeds a value known exactly.
+			if v := histRepresentative(i); v < s.Max {
+				return v
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// Quantile is Snapshot().Quantile for callers that need one value.
+func (h *Histogram) Quantile(q float64) int64 {
+	s := h.Snapshot()
+	return s.Quantile(q)
+}
+
+// Summary is the JSON-friendly digest of a histogram: count, mean and
+// the standard latency quantiles, all in the unit that was observed
+// (nanoseconds everywhere in this repo).
+type Summary struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Summarize digests the snapshot.
+func (s *HistSnapshot) Summarize() Summary {
+	out := Summary{Count: s.Count, MaxNs: s.Max}
+	if s.Count > 0 {
+		out.MeanNs = float64(s.Sum) / float64(s.Count)
+		out.P50Ns = s.Quantile(0.50)
+		out.P90Ns = s.Quantile(0.90)
+		out.P99Ns = s.Quantile(0.99)
+	}
+	return out
+}
+
+// Summarize digests the histogram's current state.
+func (h *Histogram) Summarize() Summary {
+	s := h.Snapshot()
+	return s.Summarize()
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the nearest-rank quantile over the raw samples —
+// the definition HistSnapshot.Quantile approximates bucket-wise.
+func exactQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileVsExact fuzzes latency sets from several shapes
+// and checks every extracted quantile against the exact sorted-sample
+// quantile: the estimate must land in the same log bucket as the exact
+// value, which bounds its relative error by the bucket width (1/16).
+func TestHistogramQuantileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	shapes := map[string]func() int64{
+		"uniform":   func() int64 { return rng.Int64N(5_000_000) },
+		"exp":       func() int64 { return int64(rng.ExpFloat64() * 250_000) },
+		"lognormal": func() int64 { return int64(math.Exp(rng.NormFloat64()*2 + 10)) },
+		"tiny":      func() int64 { return rng.Int64N(40) },
+		"spiky": func() int64 {
+			if rng.IntN(100) == 0 {
+				return 1_000_000_000 + rng.Int64N(1_000_000_000)
+			}
+			return 50_000 + rng.Int64N(1000)
+		},
+	}
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for name, gen := range shapes {
+		for trial := 0; trial < 20; trial++ {
+			n := 1 + rng.IntN(3000)
+			var h Histogram
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = gen()
+				h.Observe(samples[i])
+			}
+			slices.Sort(samples)
+			snap := h.Snapshot()
+			if snap.Count != int64(n) {
+				t.Fatalf("%s: count = %d, want %d", name, snap.Count, n)
+			}
+			if snap.Max != samples[n-1] {
+				t.Fatalf("%s: max = %d, want %d", name, snap.Max, samples[n-1])
+			}
+			for _, q := range quantiles {
+				est := snap.Quantile(q)
+				exact := exactQuantile(samples, q)
+				if histBucketOf(est) != histBucketOf(exact) {
+					t.Fatalf("%s trial %d: q=%v estimate %d not in exact value %d's bucket",
+						name, trial, q, est, exact)
+				}
+				lo, hi := histBucketBounds(histBucketOf(exact))
+				width := hi - lo
+				if d := est - exact; d > width || d < -width {
+					t.Fatalf("%s trial %d: q=%v |%d-%d| exceeds bucket width %d",
+						name, trial, q, est, exact, width)
+				}
+			}
+		}
+	}
+}
+
+func TestHistogramBucketsPartitionInt64(t *testing.T) {
+	// Bounds must tile: each bucket's hi is the next bucket's lo, and
+	// bucketOf(lo) == i, bucketOf(hi-1) == i.
+	prevHi := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		lo, hi := histBucketBounds(i)
+		if lo != prevHi {
+			t.Fatalf("bucket %d: lo %d != previous hi %d", i, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("bucket %d: empty range [%d,%d)", i, lo, hi)
+		}
+		if histBucketOf(lo) != i {
+			t.Fatalf("bucketOf(%d) = %d, want %d", lo, histBucketOf(lo), i)
+		}
+		if histBucketOf(hi-1) != i {
+			t.Fatalf("bucketOf(%d) = %d, want %d", hi-1, histBucketOf(hi-1), i)
+		}
+		prevHi = hi
+	}
+	if histBucketOf(math.MaxInt64) >= histBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range", histBucketOf(math.MaxInt64))
+	}
+}
+
+// TestHistogramConcurrentCounts pins down that concurrent recording
+// loses nothing: G goroutines each observe a known multiset and the
+// final snapshot must hold the exact union. Run under -race in CI.
+func TestHistogramConcurrentCounts(t *testing.T) {
+	const goroutines, per = 8, 5000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 3))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int64N(10_000_000))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Replay serially with the same seeds to compute the expectation.
+	var want Histogram
+	var wantSum, wantMax int64
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewPCG(uint64(g), 3))
+		for i := 0; i < per; i++ {
+			v := rng.Int64N(10_000_000)
+			want.Observe(v)
+			wantSum += v
+			if v > wantMax {
+				wantMax = v
+			}
+		}
+	}
+	got, exp := h.Snapshot(), want.Snapshot()
+	if got.Count != int64(goroutines*per) || got.Sum != wantSum || got.Max != wantMax {
+		t.Fatalf("count/sum/max = %d/%d/%d, want %d/%d/%d",
+			got.Count, got.Sum, got.Max, int64(goroutines*per), wantSum, wantMax)
+	}
+	if got.buckets != exp.buckets {
+		t.Fatalf("concurrent bucket counts differ from serial replay")
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d, want 0", got)
+	}
+	if s := h.Summarize(); s.Count != 0 || s.MeanNs != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	h.Observe(-5) // clamps to 0
+	if got := h.Quantile(1); got != 0 {
+		t.Fatalf("negative observation: quantile = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrentExact(t *testing.T) {
+	var c Counter
+	const goroutines, per = 16, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != goroutines*per {
+		t.Fatalf("counter = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	g.Set(42)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindSummary:
+		return "summary"
+	}
+	return "untyped"
+}
+
+type metric struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	metrics []*metric
+}
+
+// Registry names and exposes obs primitives. Registration
+// (Counter/Gauge/Histogram/GaugeFunc) takes a lock and is meant for
+// startup; the returned primitives are lock-free on the hot path.
+// WritePrometheus renders the text exposition format (v0.0.4):
+// families sorted by name, HELP/TYPE comments, escaped label values,
+// histograms as summaries with quantile series.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *metric {
+	if !validMetricName(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !validMetricName(l.Name) || strings.Contains(l.Name, ":") {
+			panic("obs: invalid label name " + strconv.Quote(l.Name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	m := &metric{labels: labels}
+	f.metrics = append(f.metrics, m)
+	return m
+}
+
+// Counter registers (and returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(name, help, kindCounter, labels)
+	m.c = new(Counter)
+	return m.c
+}
+
+// Gauge registers (and returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(name, help, kindGauge, labels)
+	m.g = new(Gauge)
+	return m.g
+}
+
+// GaugeFunc registers a gauge series computed at exposition time (for
+// values owned elsewhere: cache sizes, open sessions, uptime).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	m := r.register(name, help, kindGaugeFunc, labels)
+	m.fn = fn
+}
+
+// Histogram registers (and returns) a latency histogram series,
+// exposed as a Prometheus summary (quantile series + _sum + _count).
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	m := r.register(name, help, kindSummary, labels)
+	m.h = new(Histogram)
+	return m.h
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func writeLabels(b *strings.Builder, labels []Label, extra ...Label) {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label{}, labels...), extra...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func writeSample(b *strings.Builder, name string, labels []Label, value float64, extra ...Label) {
+	b.WriteString(name)
+	writeLabels(b, labels, extra...)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(value, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, m := range f.metrics {
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, f.name, m.labels, float64(m.c.Load()))
+			case kindGauge:
+				writeSample(&b, f.name, m.labels, float64(m.g.Load()))
+			case kindGaugeFunc:
+				writeSample(&b, f.name, m.labels, m.fn())
+			case kindSummary:
+				s := m.h.Snapshot()
+				for _, q := range [...]float64{0.5, 0.9, 0.99} {
+					writeSample(&b, f.name, m.labels, float64(s.Quantile(q)),
+						Label{Name: "quantile", Value: strconv.FormatFloat(q, 'g', -1, 64)})
+				}
+				writeSample(&b, f.name+"_sum", m.labels, float64(s.Sum))
+				writeSample(&b, f.name+"_count", m.labels, float64(s.Count))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -20,6 +20,8 @@ import (
 //	GET  /scenarios  the preset library with docs and defaults
 //	GET  /healthz    liveness
 //	GET  /metrics    MetricsSnapshot JSON
+//	GET  /metrics.prom  the same counters in the Prometheus text
+//	                 exposition format (v0.0.4), plus latency summaries
 //
 // Dynamic sessions (internal/online):
 //
@@ -35,6 +37,7 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("GET /scenarios", e.handleScenarios)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
+	mux.HandleFunc("GET /metrics.prom", e.handleMetricsProm)
 	mux.HandleFunc("POST /session", e.handleSessionOpen)
 	mux.HandleFunc("POST /session/{id}/events", e.handleSessionEvents)
 	mux.HandleFunc("GET /session/{id}/schedule", e.handleSessionSchedule)
@@ -159,6 +162,11 @@ func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (e *Engine) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, e.Metrics())
+}
+
+func (e *Engine) handleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WritePrometheus(w) // nolint:errcheck — the client is gone if this fails
 }
 
 func sessionStatus(err error) int {

@@ -2,47 +2,96 @@ package service
 
 import (
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"treesched/internal/obs"
 )
 
-// metrics aggregates per-request counters. All fields are safe for
-// concurrent update; Snapshot returns a consistent-enough copy for the
-// /metrics endpoint (counters are monotone, so slight skew between
-// fields is acceptable).
+// metrics aggregates per-request counters on internal/obs primitives.
+// Every counter is registered in a per-engine obs.Registry so one
+// instrument backs both the JSON snapshot (GET /metrics) and the
+// Prometheus exposition (GET /metrics.prom). All hot-path updates are
+// lock-free: plain counters are sharded atomics, and the per-algorithm
+// request counters are prebuilt from the algorithm registry at
+// construction — countAlgo is a map read plus an atomic add, with no
+// mutex on any request path. Snapshot returns a consistent-enough copy
+// (counters are monotone, so slight skew between fields is acceptable).
 type metrics struct {
-	requests       atomic.Int64
-	errors         atomic.Int64
-	resultHits     atomic.Int64
-	resultMisses   atomic.Int64
-	compiledHits   atomic.Int64
-	compiledMisses atomic.Int64
-	solveNanos     atomic.Int64 // total wall time spent in actual solves
-	inFlight       atomic.Int64
+	reg *obs.Registry
 
-	sessionsOpened      atomic.Int64
-	sessionsClosed      atomic.Int64
-	sessionsEvicted     atomic.Int64
-	sessionEvents       atomic.Int64
-	sessionResolves     atomic.Int64
-	sessionIncremental  atomic.Int64
-	sessionFullCompiles atomic.Int64
-	sessionCached       atomic.Int64
-	sessionSolveNanos   atomic.Int64 // session resolve wall time, kept out of solveNanos so MeanSolveMillis (SolveNanos/ResultMisses) stays a /solve metric
+	requests       *obs.Counter
+	errors         *obs.Counter
+	resultHits     *obs.Counter
+	resultMisses   *obs.Counter
+	compiledHits   *obs.Counter
+	compiledMisses *obs.Counter
+	solveNanos     *obs.Counter // total wall time spent in actual solves
+	inFlight       *obs.Gauge
 
-	mu     sync.Mutex
-	byAlgo map[string]int64
+	sessionsOpened      *obs.Counter
+	sessionsClosed      *obs.Counter
+	sessionsEvicted     *obs.Counter
+	sessionEvents       *obs.Counter
+	sessionResolves     *obs.Counter
+	sessionIncremental  *obs.Counter
+	sessionFullCompiles *obs.Counter
+	sessionCached       *obs.Counter
+	sessionSolveNanos   *obs.Counter // session resolve wall time, kept out of solveNanos so MeanSolveMillis (SolveNanos/ResultMisses) stays a /solve metric
+
+	// solveLatency/sessionSolveLatency are log-bucketed nanosecond
+	// histograms over the same intervals the *Nanos counters sum.
+	solveLatency        *obs.Histogram
+	sessionSolveLatency *obs.Histogram
+
+	// byAlgo maps each registered algorithm name to its request counter.
+	// The map is built complete in newMetrics and never mutated after, so
+	// concurrent countAlgo calls race on nothing.
+	byAlgo map[string]*obs.Counter
 }
 
-func newMetrics() *metrics {
-	return &metrics{byAlgo: make(map[string]int64)}
+func newMetrics(algoNames []string) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:            reg,
+		requests:       reg.Counter("sched_requests_total", "Solve requests received (including cache hits and errors)."),
+		errors:         reg.Counter("sched_errors_total", "Solve requests that returned an error."),
+		resultHits:     reg.Counter("sched_result_cache_hits_total", "Solve requests served from the memoized result cache."),
+		resultMisses:   reg.Counter("sched_result_cache_misses_total", "Solve requests that executed a solver."),
+		compiledHits:   reg.Counter("sched_compiled_cache_hits_total", "Solves that reused a cached compiled model."),
+		compiledMisses: reg.Counter("sched_compiled_cache_misses_total", "Solves that compiled the problem model."),
+		solveNanos:     reg.Counter("sched_solve_nanos_total", "Total wall nanoseconds spent executing solvers."),
+		inFlight:       reg.Gauge("sched_in_flight", "Solves currently holding a worker slot."),
+
+		sessionsOpened:      reg.Counter("sched_sessions_opened_total", "Dynamic sessions opened."),
+		sessionsClosed:      reg.Counter("sched_sessions_closed_total", "Dynamic sessions closed by clients."),
+		sessionsEvicted:     reg.Counter("sched_sessions_evicted_total", "Dynamic sessions evicted (LRU or idle timeout)."),
+		sessionEvents:       reg.Counter("sched_session_events_total", "Session events applied (add/remove/resolve)."),
+		sessionResolves:     reg.Counter("sched_session_resolves_total", "Session resolves requested."),
+		sessionIncremental:  reg.Counter("sched_session_resolve_modes_total", "Session resolves by recompilation mode.", obs.Label{Name: "mode", Value: "incremental"}),
+		sessionFullCompiles: reg.Counter("sched_session_resolve_modes_total", "Session resolves by recompilation mode.", obs.Label{Name: "mode", Value: "full"}),
+		sessionCached:       reg.Counter("sched_session_resolve_modes_total", "Session resolves by recompilation mode.", obs.Label{Name: "mode", Value: "cached"}),
+		sessionSolveNanos:   reg.Counter("sched_session_solve_nanos_total", "Total wall nanoseconds spent in session resolves."),
+
+		solveLatency:        reg.Histogram("sched_solve_latency_ns", "Per-solve wall latency in nanoseconds (result-cache misses only)."),
+		sessionSolveLatency: reg.Histogram("sched_session_solve_latency_ns", "Per-resolve wall latency in nanoseconds (cached resolves observe near-zero)."),
+
+		byAlgo: make(map[string]*obs.Counter, len(algoNames)),
+	}
+	for _, name := range algoNames {
+		m.byAlgo[name] = reg.Counter("sched_requests_by_algo_total",
+			"Solve requests by algorithm name.", obs.Label{Name: "algo", Value: name})
+	}
+	return m
 }
 
+// countAlgo bumps the per-algorithm request counter. Callers only pass
+// names validated against the algorithm registry, which is exactly the
+// key set byAlgo was built from; an unknown name is dropped rather than
+// reintroducing a lock to grow the map.
 func (m *metrics) countAlgo(name string) {
-	m.mu.Lock()
-	m.byAlgo[name]++
-	m.mu.Unlock()
+	if c, ok := m.byAlgo[name]; ok {
+		c.Inc()
+	}
 }
 
 // MetricsSnapshot is the exported point-in-time view of the engine's
@@ -55,12 +104,21 @@ type MetricsSnapshot struct {
 	CompiledHits   int64 `json:"compiled_cache_hits"`
 	CompiledMisses int64 `json:"compiled_cache_misses"`
 	InFlight       int64 `json:"in_flight"`
-	// SolveNanos is total wall time spent executing solvers (cache hits
-	// contribute nothing), so requests/sec and mean solve latency are
-	// both derivable.
+	// SolveNanos is total wall time spent executing solvers via /solve
+	// and /batch (cache hits contribute nothing), so requests/sec and
+	// mean solve latency are both derivable. Session resolve time is
+	// accounted separately in SessionSolveNanos — the two pools never
+	// mix, so each mean stays a faithful latency for its own endpoint.
 	SolveNanos int64 `json:"solve_nanos_total"`
-	// MeanSolveMillis is SolveNanos averaged over result-cache misses.
+	// MeanSolveMillis is SolveNanos averaged over result-cache misses —
+	// a /solve-endpoint metric only. It is 0 (not NaN) until the first
+	// miss, and session resolves never move it; see
+	// MeanSessionSolveMillis for the session-side counterpart.
 	MeanSolveMillis float64 `json:"mean_solve_millis"`
+	// SolveLatency summarizes the solve-latency histogram (count, mean
+	// and p50/p90/p99/max nanoseconds) over the same solves SolveNanos
+	// sums.
+	SolveLatency obs.Summary `json:"solve_latency"`
 	// CompiledEntries/ResultEntries are current cache occupancies.
 	CompiledEntries int `json:"compiled_cache_entries"`
 	ResultEntries   int `json:"result_cache_entries"`
@@ -79,6 +137,15 @@ type MetricsSnapshot struct {
 	SessionResolvesFull        int64 `json:"session_resolves_full"`
 	SessionResolvesCached      int64 `json:"session_resolves_cached"`
 	SessionSolveNanos          int64 `json:"session_solve_nanos_total"`
+	// MeanSessionSolveMillis is SessionSolveNanos averaged over the
+	// resolves that actually solved (incremental + full; cached resolves
+	// spend no solver time). It is the session-side analogue of
+	// MeanSolveMillis, which historically read 0 under session-only
+	// traffic because ResultMisses stays 0 on that path.
+	MeanSessionSolveMillis float64 `json:"mean_session_solve_millis"`
+	// SessionSolveLatency summarizes the session resolve-latency
+	// histogram over the same resolves SessionSolveNanos sums.
+	SessionSolveLatency obs.Summary `json:"session_solve_latency"`
 	// ByAlgo counts requests per algorithm name.
 	ByAlgo map[string]int64 `json:"requests_by_algo"`
 	// AlgoNames is ByAlgo's key set in sorted order, for deterministic
@@ -96,6 +163,7 @@ func (m *metrics) snapshot(compiledEntries, resultEntries, sessionsOpen int) Met
 		CompiledMisses:  m.compiledMisses.Load(),
 		InFlight:        m.inFlight.Load(),
 		SolveNanos:      m.solveNanos.Load(),
+		SolveLatency:    m.solveLatency.Summarize(),
 		CompiledEntries: compiledEntries,
 		ResultEntries:   resultEntries,
 		ByAlgo:          make(map[string]int64),
@@ -110,16 +178,18 @@ func (m *metrics) snapshot(compiledEntries, resultEntries, sessionsOpen int) Met
 		SessionResolvesFull:        m.sessionFullCompiles.Load(),
 		SessionResolvesCached:      m.sessionCached.Load(),
 		SessionSolveNanos:          m.sessionSolveNanos.Load(),
+		SessionSolveLatency:        m.sessionSolveLatency.Summarize(),
 	}
 	if s.ResultMisses > 0 {
 		s.MeanSolveMillis = float64(s.SolveNanos) / float64(s.ResultMisses) / float64(time.Millisecond)
 	}
-	m.mu.Lock()
-	for k, v := range m.byAlgo {
-		s.ByAlgo[k] = v
+	if solved := s.SessionResolvesIncremental + s.SessionResolvesFull; solved > 0 {
+		s.MeanSessionSolveMillis = float64(s.SessionSolveNanos) / float64(solved) / float64(time.Millisecond)
+	}
+	for k, c := range m.byAlgo {
+		s.ByAlgo[k] = c.Load()
 		s.AlgoNames = append(s.AlgoNames, k)
 	}
-	m.mu.Unlock()
 	sort.Strings(s.AlgoNames)
 	return s
 }

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -211,15 +212,26 @@ type Engine struct {
 // New builds an Engine from cfg (zero value = all defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
 		compiled: newLRU[*core.Compiled](cfg.CompiledCacheSize),
 		results:  newLRU[*Response](cfg.ResultCacheSize),
 		sessions: newSessionManager(cfg.MaxSessions, cfg.SessionIdleTimeout),
-		met:      newMetrics(),
+		met:      newMetrics(Algorithms()),
 		start:    time.Now(),
 	}
+	// Occupancy and uptime are owned by their structures, not by counters;
+	// expose them as gauges computed at scrape time.
+	e.met.reg.GaugeFunc("sched_compiled_cache_entries", "Compiled problem models currently cached.",
+		func() float64 { return float64(e.compiled.len()) })
+	e.met.reg.GaugeFunc("sched_result_cache_entries", "Memoized responses currently cached.",
+		func() float64 { return float64(e.results.len()) })
+	e.met.reg.GaugeFunc("sched_sessions_open", "Dynamic sessions currently open.",
+		func() float64 { return float64(e.sessions.len()) })
+	e.met.reg.GaugeFunc("sched_uptime_seconds", "Seconds since the engine was constructed.",
+		func() float64 { return e.Uptime().Seconds() })
+	return e
 }
 
 // Close marks the engine closed and waits for in-flight solves to drain.
@@ -243,6 +255,14 @@ func (e *Engine) enter() error {
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() MetricsSnapshot {
 	return e.met.snapshot(e.compiled.len(), e.results.len(), e.sessions.len())
+}
+
+// WritePrometheus renders the engine's metrics in the Prometheus text
+// exposition format (v0.0.4). Every counter in the JSON snapshot is
+// present under a sched_-prefixed name; latency histograms appear as
+// summaries with p50/p90/p99 quantile series.
+func (e *Engine) WritePrometheus(w io.Writer) error {
+	return e.met.reg.WritePrometheus(w)
 }
 
 // Uptime reports time since New.
@@ -425,7 +445,9 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 
 	begin := time.Now()
 	res, dres, err := run(c, opts, maxNodes)
-	e.met.solveNanos.Add(time.Since(begin).Nanoseconds())
+	solveNs := time.Since(begin).Nanoseconds()
+	e.met.solveNanos.Add(solveNs)
+	e.met.solveLatency.Observe(solveNs)
 	if err != nil {
 		// Precondition failures (wrong problem kind, non-unit heights,
 		// non-narrow instances) are the client's fault; a failed
