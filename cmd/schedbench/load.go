@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"treesched/internal/bench"
+)
+
+// runLoadBaseline is the `-load` mode: drive internal/service with
+// open-loop traffic (Poisson and bursty arrivals over a Zipf-weighted
+// scenario×algorithm mix with a session share) and either write the
+// BENCH_load.json report — saturation rps, open-loop p50/p99,
+// coalescing and cache-hit rates, sharded-vs-single-lock contention —
+// or, with -check, compare against a checked-in baseline and exit
+// non-zero on a sanity or regression failure (see bench.CheckLoad).
+func runLoadBaseline(out, check string, quick bool) {
+	report, err := bench.LoadBench(quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+
+	if check != "" {
+		raw, err := os.ReadFile(check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		var baseline bench.LoadReport
+		if err := json.Unmarshal(raw, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "schedbench: parsing %s: %v\n", check, err)
+			os.Exit(1)
+		}
+		if err := bench.CheckLoad(report, &baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "schedbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedbench: load gate passed against %s across %d traffic entries, %d shard entries\n",
+			check, len(report.Entries), len(report.ShardEntries))
+		return
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}

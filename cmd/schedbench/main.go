@@ -10,6 +10,7 @@
 //	schedbench -online [-quick] [-o BENCH_online.json | -check BENCH_online.json]
 //	schedbench -dist [-quick] [-o BENCH_dist.json | -check BENCH_dist.json |
 //	                 -smoke line-100k]
+//	schedbench -load [-quick] [-o BENCH_load.json | -check BENCH_load.json]
 //
 // The -service mode benchmarks the serving layer (internal/service)
 // instead: requests/sec for cold, compiled-cache-warm and
@@ -30,6 +31,13 @@
 // the goroutine-per-processor anchor, up to the 10^5-processor scale
 // presets, gating speedup and the workers+O(1) goroutine bound with
 // -check; -smoke runs one scale preset end to end on the pool engine.
+// The -load mode drives the serving layer with open-loop traffic —
+// Poisson and bursty arrivals over a Zipf-weighted scenario×algorithm
+// mix with a dynamic-session share — reporting saturation rps,
+// open-loop p50/p99 latency, singleflight coalescing and cache-hit
+// rates, and the sharded-vs-single-lock cache contention speedup;
+// -check gates report sanity and (GOMAXPROCS-matched) p99/saturation
+// regressions against the checked-in BENCH_load.json.
 package main
 
 import (
@@ -52,8 +60,9 @@ func main() {
 		coreRun = flag.Bool("core", false, "benchmark the solver cold path instead of E1-E12")
 		online  = flag.Bool("online", false, "benchmark delta re-solve vs cold solve instead of E1-E12")
 		distRun = flag.Bool("dist", false, "benchmark the BSP worker-pool engine vs the goroutine-per-processor anchor")
+		loadRun = flag.Bool("load", false, "drive the serving layer with open-loop traffic and report latency/coalescing/contention")
 		smoke   = flag.String("smoke", "", "with -dist: run one scale preset on the pool engine and print a summary")
-		check   = flag.String("check", "", "with -core/-online/-dist: compare against the named baseline and fail on regression")
+		check   = flag.String("check", "", "with -core/-online/-dist/-load: compare against the named baseline and fail on regression")
 	)
 	flag.Parse()
 
@@ -71,6 +80,10 @@ func main() {
 	}
 	if *distRun {
 		runDistBaseline(*out, *check, *smoke, *quick)
+		return
+	}
+	if *loadRun {
+		runLoadBaseline(*out, *check, *quick)
 		return
 	}
 

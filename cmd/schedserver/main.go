@@ -5,7 +5,7 @@
 // Usage:
 //
 //	schedserver [-addr :8080] [-workers N] [-compile-workers N]
-//	            [-compiled-cache 64] [-result-cache 512]
+//	            [-compiled-cache 64] [-result-cache 512] [-cache-shards N]
 //	            [-max-demands 20000] [-pprof]
 //
 // API:
@@ -45,6 +45,7 @@ func main() {
 		compileWorkers = flag.Int("compile-workers", 0, "model-build fan-out per compilation (0 = GOMAXPROCS, 1 = serial)")
 		compiledCache  = flag.Int("compiled-cache", 64, "compiled-model cache entries")
 		resultCache    = flag.Int("result-cache", 512, "memoized-result cache entries")
+		cacheShards    = flag.Int("cache-shards", 0, "lock shards per cache (0 = GOMAXPROCS-derived, 1 = single-lock oracle path)")
 		maxDemands     = flag.Int("max-demands", 20000, "reject problems with more demands")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		enablePprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiles expose internals)")
@@ -56,6 +57,7 @@ func main() {
 		CompileWorkers:    *compileWorkers,
 		CompiledCacheSize: *compiledCache,
 		ResultCacheSize:   *resultCache,
+		CacheShards:       *cacheShards,
 		MaxDemands:        *maxDemands,
 	})
 

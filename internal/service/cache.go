@@ -5,16 +5,20 @@ import (
 	"sync"
 )
 
-// lru is a small thread-safe least-recently-used cache. The serving
-// engine keeps two: compiled problem models keyed on the canonical
-// problem hash, and memoized solve responses keyed on
-// (problem hash, algorithm, options). Values must be immutable after
-// insertion — hits hand out the stored pointer.
+// lru is a small thread-safe least-recently-used cache. It is the
+// single-lock reference implementation: production engines run the
+// hash-partitioned shardedCache built from per-shard lru instances
+// (see shard.go), and the equivalence tests drive this type directly
+// as the semantic oracle. Values must be immutable after insertion —
+// hits hand out the stored pointer.
 type lru[V any] struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recent; values are *lruEntry[V]
 	items map[string]*list.Element
+	// onEvict, when set (tests only — it runs under mu), observes each
+	// capacity eviction in order.
+	onEvict func(key string)
 }
 
 type lruEntry[V any] struct {
@@ -59,7 +63,11 @@ func (c *lru[V]) add(key string, val V) {
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruEntry[V]).key)
+		k := oldest.Value.(*lruEntry[V]).key
+		delete(c.items, k)
+		if c.onEvict != nil {
+			c.onEvict(k)
+		}
 	}
 }
 
@@ -68,4 +76,17 @@ func (c *lru[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// keysMRU dumps the keys most-recent-first without touching recency.
+// Test-only: the equivalence suite compares full orderings against the
+// sharded cache after a deterministic op sequence.
+func (c *lru[V]) keysMRU() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[V]).key)
+	}
+	return out
 }

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls that share a key: the first
+// caller (the leader) executes fn, every caller that arrives while the
+// leader is running (a follower) waits and receives the leader's value
+// and error. N concurrent identical requests therefore cost one
+// execution — the thundering-herd guard in front of the compiled and
+// result caches.
+//
+// Outcomes are shared, never stored: the entry is removed before the
+// followers wake, so a call arriving after completion starts a fresh
+// flight. Errors thus propagate to exactly the requests that were
+// genuinely concurrent with the failed execution and are re-attempted
+// by the next arrival — nothing error-shaped is ever cached. That
+// includes the leader's cancellation: a follower shares its leader's
+// fate, except that a follower whose own context expires first
+// abandons the wait with its own ctx.Err() (the leader keeps running
+// for the rest).
+type flightGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done    chan struct{} // closed after val/err are final
+	waiters int           // followers currently blocked (guarded by group mu)
+	val     V
+	err     error
+}
+
+// do executes fn under key as described on flightGroup. coalesced
+// reports whether this call was a follower. fn must not call back into
+// the same group with the same key (self-deadlock); panics in fn are
+// the caller's responsibility to convert to errors — a panic that
+// escapes fn would strand followers, so every fn in this package
+// recovers at its top.
+func (g *flightGroup[V]) do(ctx context.Context, key string, fn func() (V, error)) (v V, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// waitersFor reports how many followers are currently blocked on key.
+// Test-only: the singleflight contract test uses it to hold the leader
+// until every concurrent request has joined the flight.
+func (g *flightGroup[V]) waitersFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

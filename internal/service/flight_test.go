@@ -1,0 +1,266 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"treesched/internal/core"
+)
+
+// awaitWaiters polls until the flight has n blocked followers on key.
+func awaitWaiters[V any](t *testing.T, g *flightGroup[V], key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.waitersFor(key) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d followers on %q (have %d)", n, key, g.waitersFor(key))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleflightContract is the coalescing contract of the issue: K
+// concurrent identical requests perform exactly one underlying solve
+// and all K receive byte-identical responses. The leader is parked on
+// the test gate until every follower has joined its flight, so the
+// coalescing is deterministic, not a lucky interleaving — run under
+// -race in CI.
+func TestSingleflightContract(t *testing.T) {
+	const K = 8
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	gotKey := make(chan string, 1)
+	release := make(chan struct{})
+	e.solveGate = func(key string) {
+		gotKey <- key // exactly one leader reaches the gate
+		<-release
+	}
+	req := func() *Request {
+		return &Request{Algo: "tree-unit", Scenario: "profit-ladder", ScenarioSeed: 4, Seed: 2}
+	}
+
+	var wg sync.WaitGroup
+	resps := make([]*Response, K)
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = e.Solve(context.Background(), req())
+		}(i)
+	}
+	key := <-gotKey
+	awaitWaiters(t, &e.solveFlight, key, K-1)
+	close(release)
+	wg.Wait()
+
+	var first []byte
+	for i := 0; i < K; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		b, err := json.Marshal(resps[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("request %d response differs:\n%s\nvs\n%s", i, first, b)
+		}
+	}
+
+	snap := e.Metrics()
+	// Exactly one solver execution: the latency histogram observes each
+	// actual run and nothing else.
+	if snap.SolveLatency.Count != 1 {
+		t.Fatalf("underlying solves = %d, want exactly 1", snap.SolveLatency.Count)
+	}
+	if snap.SolvesCoalesced != K-1 {
+		t.Fatalf("solves_coalesced = %d, want %d", snap.SolvesCoalesced, K-1)
+	}
+	if snap.ResultMisses != K || snap.ResultHits != 0 {
+		t.Fatalf("result cache hits/misses = %d/%d, want 0/%d", snap.ResultHits, snap.ResultMisses, K)
+	}
+
+	// Memoization oracle from PR 2: a later identical request is a cache
+	// hit and still marshals byte-identically.
+	e.solveGate = nil
+	cached, err := e.Solve(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := json.Marshal(cached); !bytes.Equal(first, b) {
+		t.Fatalf("cached response differs from coalesced response:\n%s\nvs\n%s", first, b)
+	}
+	if snap := e.Metrics(); snap.ResultHits != 1 {
+		t.Fatalf("result hits after follow-up = %d, want 1", snap.ResultHits)
+	}
+}
+
+// TestSingleflightErrorNotCached pins the failure side of the contract:
+// a coalesced flight whose leader errors hands the error to exactly the
+// concurrent followers, caches nothing (error responses must never be
+// memoized — the infeasible-solution gate funnels through the same
+// error return), and the next arrival re-executes.
+func TestSingleflightErrorNotCached(t *testing.T) {
+	const K = 4
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	gotKey := make(chan string, 1)
+	release := make(chan struct{})
+	e.solveGate = func(key string) {
+		gotKey <- key
+		<-release
+	}
+	// Exact with a one-node budget on a nontrivial instance exhausts its
+	// branch-and-bound budget: a post-validation, in-solver error.
+	req := func() *Request {
+		return &Request{Algo: "exact", Scenario: "profit-ladder", ScenarioSeed: 4, MaxNodes: 1}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.Solve(context.Background(), req())
+		}(i)
+	}
+	key := <-gotKey
+	awaitWaiters(t, &e.solveFlight, key, K-1)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if !errors.Is(err, core.ErrExactTooLarge) {
+			t.Fatalf("request %d: err = %v, want ErrExactTooLarge", i, err)
+		}
+	}
+	snap := e.Metrics()
+	if snap.SolveLatency.Count != 1 {
+		t.Fatalf("underlying solves = %d, want exactly 1", snap.SolveLatency.Count)
+	}
+	if snap.SolvesCoalesced != K-1 {
+		t.Fatalf("solves_coalesced = %d, want %d", snap.SolvesCoalesced, K-1)
+	}
+	if snap.ResultEntries != 0 {
+		t.Fatalf("result cache holds %d entries after an error, want 0", snap.ResultEntries)
+	}
+
+	// The error was not cached: a fresh arrival re-executes (and fails
+	// again, on its own solver run).
+	e.solveGate = nil
+	if _, err := e.Solve(context.Background(), req()); !errors.Is(err, core.ErrExactTooLarge) {
+		t.Fatalf("follow-up err = %v, want ErrExactTooLarge", err)
+	}
+	if snap := e.Metrics(); snap.SolveLatency.Count != 2 {
+		t.Fatalf("underlying solves after follow-up = %d, want 2 (error must not be cached)", snap.SolveLatency.Count)
+	}
+}
+
+// TestSingleflightFollowerCancellation: a follower whose own context
+// expires abandons the wait with its ctx error while the leader (and
+// its other followers) complete normally.
+func TestSingleflightFollowerCancellation(t *testing.T) {
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	gotKey := make(chan string, 1)
+	release := make(chan struct{})
+	e.solveGate = func(key string) {
+		gotKey <- key
+		<-release
+	}
+	req := func() *Request {
+		return &Request{Algo: "tree-unit", Scenario: "profit-ladder", ScenarioSeed: 9}
+	}
+
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := e.Solve(context.Background(), req())
+		leaderErr <- err
+	}()
+	key := <-gotKey
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, err := e.Solve(ctx, req())
+		followerErr <- err
+	}()
+	awaitWaiters(t, &e.solveFlight, key, 1)
+	cancel()
+	if err := <-followerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-leaderErr; err != nil {
+		t.Fatalf("leader err = %v, want nil", err)
+	}
+}
+
+// TestCompileFlightCoalesces: K concurrent requests that differ in
+// algorithm share one problem, so exactly one of them compiles it and
+// the other K-1 coalesce on the compile flight. The compile leader is
+// parked on the test gate until every other request has missed the
+// compiled cache and joined the flight, making the count deterministic.
+func TestCompileFlightCoalesces(t *testing.T) {
+	algos := []string{"tree-unit", "greedy", "sequential", "dist-unit"}
+	e := New(Config{Workers: len(algos)})
+	defer e.Close()
+
+	gotHash := make(chan string, 1)
+	release := make(chan struct{})
+	e.compileGate = func(hash string) {
+		gotHash <- hash // distinct algos share one problem: one compile leader
+		<-release
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(algos))
+	for i, algo := range algos {
+		wg.Add(1)
+		go func(i int, algo string) {
+			defer wg.Done()
+			_, errs[i] = e.Solve(context.Background(), &Request{
+				Algo: algo, Scenario: "profit-ladder", ScenarioSeed: 6,
+			})
+		}(i, algo)
+	}
+	// Distinct result keys mean distinct solve flights: all four run as
+	// solve leaders and race into compiledFor; the first parks on the
+	// gate, the rest must miss the (still empty) compiled cache and wait.
+	hash := <-gotHash
+	awaitWaiters(t, &e.compileFlight, hash, len(algos)-1)
+	close(release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("%s: %v", algos[i], err)
+		}
+	}
+	snap := e.Metrics()
+	if snap.CompiledMisses != int64(len(algos)) {
+		t.Fatalf("compiled misses = %d, want %d", snap.CompiledMisses, len(algos))
+	}
+	if snap.CompilesCoalesced != int64(len(algos)-1) {
+		t.Fatalf("compiles_coalesced = %d, want %d (one compilation per concurrent miss wave)",
+			snap.CompilesCoalesced, len(algos)-1)
+	}
+	if snap.CompiledEntries != 1 {
+		t.Fatalf("compiled cache entries = %d, want 1", snap.CompiledEntries)
+	}
+	if snap.SolvesCoalesced != 0 {
+		t.Fatalf("solves_coalesced = %d, want 0 (all result keys distinct)", snap.SolvesCoalesced)
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"treesched/internal/instance"
+)
+
+// The immutability contract of the result-cache value path, audited and
+// pinned here: a cached *Response is shared — concurrent requests,
+// singleflight followers and later cache hits all receive the same
+// pointer. The only writes to a Response happen in execute, before
+// results.add publishes it (grep discipline: no assignment to Response
+// fields or Selected elements exists after insertion anywhere in this
+// package), so sharing is safe exactly as long as nobody mutates. The
+// HTTP boundary enforces that for clients by construction: handlers
+// marshal the shared object, so a client mutating its own decoded copy
+// can never reach the cache.
+
+// TestCachedResponseSharedPointer pins the sharing itself: a result
+// cache hit and a singleflight follower both hand out the identical
+// object, not a copy. (If this ever changes to deep copies, the
+// byte-identical guarantees must be re-proven; this test is the
+// tripwire.)
+func TestCachedResponseSharedPointer(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	req := func() *Request {
+		return &Request{Algo: "tree-unit", Scenario: "profit-ladder", ScenarioSeed: 3}
+	}
+	first, err := e.Solve(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Solve(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("result-cache hit returned a different *Response: the shared-pointer memoization contract changed")
+	}
+}
+
+// TestHandlerCannotObserveMutatedCachedResponse: a client that decodes
+// a /solve response and scribbles all over its copy (fields and the
+// Selected slice) must get byte-identical JSON on the next identical
+// request — client-side mutation cannot reach the cached object
+// through the HTTP boundary.
+func TestHandlerCannotObserveMutatedCachedResponse(t *testing.T) {
+	e := New(Config{})
+	defer e.Close()
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	body := `{"algo":"tree-unit","scenario":"profit-ladder","scenario_seed":5}`
+	post := func() []byte {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	original := post() // cold: populates the result cache
+	var decoded Response
+	if err := json.Unmarshal(original, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Selected) == 0 {
+		t.Fatal("want a non-empty selection to mutate")
+	}
+	// The hostile client: mutate every reachable field of the copy,
+	// including elements of the decoded slice.
+	decoded.Profit = -1
+	decoded.Algorithm = "corrupted"
+	decoded.Selected[0] = instance.Inst{}
+	decoded.Selected = decoded.Selected[:0]
+
+	cached := post() // result-cache hit: serves the shared *Response
+	if !bytes.Equal(original, cached) {
+		t.Fatalf("cached response changed after client-side mutation:\nbefore: %s\nafter:  %s", original, cached)
+	}
+}

@@ -27,6 +27,11 @@ type metrics struct {
 	compiledMisses *obs.Counter
 	solveNanos     *obs.Counter // total wall time spent in actual solves
 	inFlight       *obs.Gauge
+	// solvesCoalesced counts requests served as singleflight followers
+	// (they waited on another request's identical in-flight solve);
+	// compilesCoalesced counts compilations avoided the same way.
+	solvesCoalesced   *obs.Counter
+	compilesCoalesced *obs.Counter
 
 	sessionsOpened      *obs.Counter
 	sessionsClosed      *obs.Counter
@@ -61,6 +66,9 @@ func newMetrics(algoNames []string) *metrics {
 		compiledMisses: reg.Counter("sched_compiled_cache_misses_total", "Solves that compiled the problem model."),
 		solveNanos:     reg.Counter("sched_solve_nanos_total", "Total wall nanoseconds spent executing solvers."),
 		inFlight:       reg.Gauge("sched_in_flight", "Solves currently holding a worker slot."),
+
+		solvesCoalesced:   reg.Counter("sched_solves_coalesced_total", "Requests served by waiting on another request's identical in-flight solve (singleflight followers)."),
+		compilesCoalesced: reg.Counter("sched_compiles_coalesced_total", "Compilations avoided by waiting on another request's in-flight compile of the same problem."),
 
 		sessionsOpened:      reg.Counter("sched_sessions_opened_total", "Dynamic sessions opened."),
 		sessionsClosed:      reg.Counter("sched_sessions_closed_total", "Dynamic sessions closed by clients."),
@@ -103,7 +111,17 @@ type MetricsSnapshot struct {
 	ResultMisses   int64 `json:"result_cache_misses"`
 	CompiledHits   int64 `json:"compiled_cache_hits"`
 	CompiledMisses int64 `json:"compiled_cache_misses"`
-	InFlight       int64 `json:"in_flight"`
+	// SolvesCoalesced counts requests served as singleflight followers:
+	// they waited on another request's identical in-flight solve instead
+	// of executing their own. CompilesCoalesced is the same for the
+	// compilation flight (requests differing in algorithm/options share
+	// one in-flight compile of their common problem).
+	SolvesCoalesced   int64 `json:"solves_coalesced"`
+	CompilesCoalesced int64 `json:"compiles_coalesced"`
+	// CacheShards is the effective lock-shard count of the compiled and
+	// result caches (Config.CacheShards after GOMAXPROCS derivation).
+	CacheShards int   `json:"cache_shards"`
+	InFlight    int64 `json:"in_flight"`
 	// SolveNanos is total wall time spent executing solvers via /solve
 	// and /batch (cache hits contribute nothing), so requests/sec and
 	// mean solve latency are both derivable. Session resolve time is
@@ -155,18 +173,20 @@ type MetricsSnapshot struct {
 
 func (m *metrics) snapshot(compiledEntries, resultEntries, sessionsOpen int) MetricsSnapshot {
 	s := MetricsSnapshot{
-		Requests:        m.requests.Load(),
-		Errors:          m.errors.Load(),
-		ResultHits:      m.resultHits.Load(),
-		ResultMisses:    m.resultMisses.Load(),
-		CompiledHits:    m.compiledHits.Load(),
-		CompiledMisses:  m.compiledMisses.Load(),
-		InFlight:        m.inFlight.Load(),
-		SolveNanos:      m.solveNanos.Load(),
-		SolveLatency:    m.solveLatency.Summarize(),
-		CompiledEntries: compiledEntries,
-		ResultEntries:   resultEntries,
-		ByAlgo:          make(map[string]int64),
+		Requests:          m.requests.Load(),
+		Errors:            m.errors.Load(),
+		ResultHits:        m.resultHits.Load(),
+		ResultMisses:      m.resultMisses.Load(),
+		CompiledHits:      m.compiledHits.Load(),
+		CompiledMisses:    m.compiledMisses.Load(),
+		SolvesCoalesced:   m.solvesCoalesced.Load(),
+		CompilesCoalesced: m.compilesCoalesced.Load(),
+		InFlight:          m.inFlight.Load(),
+		SolveNanos:        m.solveNanos.Load(),
+		SolveLatency:      m.solveLatency.Summarize(),
+		CompiledEntries:   compiledEntries,
+		ResultEntries:     resultEntries,
+		ByAlgo:            make(map[string]int64),
 
 		SessionsOpen:               sessionsOpen,
 		SessionsOpened:             m.sessionsOpened.Load(),

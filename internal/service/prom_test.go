@@ -115,12 +115,12 @@ func TestPrometheusExpositionContract(t *testing.T) {
 	// values (both reads are quiesced — no in-flight traffic).
 	snap := e.Metrics()
 	for key, want := range map[string]int64{
-		"sched_requests_total":                        snap.Requests,
-		"sched_errors_total":                          snap.Errors,
-		"sched_result_cache_hits_total":               snap.ResultHits,
-		"sched_result_cache_misses_total":             snap.ResultMisses,
+		"sched_requests_total":                          snap.Requests,
+		"sched_errors_total":                            snap.Errors,
+		"sched_result_cache_hits_total":                 snap.ResultHits,
+		"sched_result_cache_misses_total":               snap.ResultMisses,
 		"sched_requests_by_algo_total{algo=\"greedy\"}": snap.ByAlgo["greedy"],
-		"sched_solve_latency_ns_count":                snap.SolveLatency.Count,
+		"sched_solve_latency_ns_count":                  snap.SolveLatency.Count,
 	} {
 		if got := after[key]; got != float64(want) {
 			t.Errorf("%s = %g in exposition, %d in JSON snapshot", key, got, want)

@@ -54,6 +54,13 @@ type Config struct {
 	CompiledCacheSize int
 	// ResultCacheSize is the max number of memoized responses (default 512).
 	ResultCacheSize int
+	// CacheShards sets the lock-shard count of both caches: 0 derives
+	// from GOMAXPROCS, 1 selects the single-shard path (byte-equivalent
+	// to the pre-sharding single-lock LRU — the equivalence oracle, same
+	// pattern as CompileWorkers=1), larger values round up to a power of
+	// two. Shards change lock layout only, never which keys are cached
+	// or what responses say, so the knob is not part of any cache key.
+	CacheShards int
 	// MaxDemands rejects problems with more demands (default 20000).
 	MaxDemands int
 	// MaxExactNodes caps the branch-and-bound budget of "exact" requests
@@ -196,13 +203,27 @@ func Algorithms() []string {
 
 // Engine is the concurrent solve engine. Safe for concurrent use.
 type Engine struct {
-	cfg      Config
-	sem      chan struct{} // bounded worker pool
-	compiled *lru[*core.Compiled]
-	results  *lru[*Response]
-	sessions *sessionManager
-	met      *metrics
-	start    time.Time
+	cfg         Config
+	cacheShards int           // effective shard count (resolveShards(cfg.CacheShards))
+	sem         chan struct{} // bounded worker pool
+	compiled    *shardedCache[*core.Compiled]
+	results     *shardedCache[*Response]
+	sessions    *sessionManager
+	met         *metrics
+	start       time.Time
+
+	// solveFlight coalesces concurrent identical requests (same result
+	// key) into one executing solve; compileFlight coalesces concurrent
+	// compilations of one problem (same canonical hash) across requests
+	// that differ only in algorithm or options.
+	solveFlight   flightGroup[*Response]
+	compileFlight flightGroup[*core.Compiled]
+	// solveGate/compileGate, when set (tests only), run at the start of
+	// every solve-flight / compile-flight leader — the singleflight
+	// contract tests park the leader there until all followers have
+	// joined.
+	solveGate   func(key string)
+	compileGate func(hash string)
 
 	mu     sync.Mutex
 	closed bool
@@ -212,14 +233,16 @@ type Engine struct {
 // New builds an Engine from cfg (zero value = all defaults).
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	shards := resolveShards(cfg.CacheShards)
 	e := &Engine{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.Workers),
-		compiled: newLRU[*core.Compiled](cfg.CompiledCacheSize),
-		results:  newLRU[*Response](cfg.ResultCacheSize),
-		sessions: newSessionManager(cfg.MaxSessions, cfg.SessionIdleTimeout),
-		met:      newMetrics(Algorithms()),
-		start:    time.Now(),
+		cfg:         cfg,
+		cacheShards: shards,
+		sem:         make(chan struct{}, cfg.Workers),
+		compiled:    newShardedCache[*core.Compiled](cfg.CompiledCacheSize, shards),
+		results:     newShardedCache[*Response](cfg.ResultCacheSize, shards),
+		sessions:    newSessionManager(cfg.MaxSessions, cfg.SessionIdleTimeout),
+		met:         newMetrics(Algorithms()),
+		start:       time.Now(),
 	}
 	// Occupancy and uptime are owned by their structures, not by counters;
 	// expose them as gauges computed at scrape time.
@@ -254,7 +277,9 @@ func (e *Engine) enter() error {
 
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() MetricsSnapshot {
-	return e.met.snapshot(e.compiled.len(), e.results.len(), e.sessions.len())
+	s := e.met.snapshot(e.compiled.len(), e.results.len(), e.sessions.len())
+	s.CacheShards = e.cacheShards
+	return s
 }
 
 // WritePrometheus renders the engine's metrics in the Prometheus text
@@ -385,8 +410,7 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 		}
 	}()
 
-	run, ok := algorithms[req.Algo]
-	if !ok {
+	if _, ok := algorithms[req.Algo]; !ok {
 		return nil, fmt.Errorf("%w: unknown algorithm %q (known: %v)", ErrBadRequest, req.Algo, Algorithms())
 	}
 	e.met.countAlgo(req.Algo)
@@ -412,6 +436,43 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 	}
 	e.met.resultMisses.Add(1)
 
+	// Singleflight: of N concurrent identical requests, one leader
+	// executes and N-1 followers wait for its response — byte-identical
+	// by construction, since all N hand out one shared *Response (the
+	// same sharing the result cache already implies). Errors are shared
+	// with the concurrent followers but never cached: the next arrival
+	// re-executes.
+	resp, coalesced, err := e.solveFlight.do(ctx, key, func() (*Response, error) {
+		return e.execute(ctx, req, hash, key, materialize, opts, maxNodes)
+	})
+	if coalesced {
+		e.met.solvesCoalesced.Add(1)
+	}
+	return resp, err
+}
+
+// execute is the solve-flight leader body: worker slot, compiled model,
+// solver run, feasibility gate, memoization. Followers of the flight
+// never enter here — a coalesced request holds no worker slot and
+// touches no cache.
+func (e *Engine) execute(ctx context.Context, req *Request, hash, key string, materialize func() (*instance.Problem, error), opts core.Options, maxNodes int64) (resp *Response, err error) {
+	// The solve's panic guard must sit inside the flight: a panic that
+	// escaped fn would strand the flight's followers, and the leader's
+	// followers deserve the same converted error the leader returns.
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("service: panic during %q solve: %v", req.Algo, r)
+		}
+	}()
+	if gate := e.solveGate; gate != nil {
+		gate(key)
+	}
+	// Lost-race recheck: between this request's cache miss and flight
+	// entry, a previous leader may have completed and memoized.
+	if resp, ok := e.results.get(key); ok {
+		return resp, nil
+	}
+
 	// Bounded worker pool: block for a slot, honoring cancellation.
 	select {
 	case e.sem <- struct{}{}:
@@ -422,27 +483,12 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 	e.met.inFlight.Add(1)
 	defer e.met.inFlight.Add(-1)
 
-	// Compiled-model reuse: one compilation serves every algorithm and
-	// every (epsilon, seed) on the same problem. Concurrent first
-	// requests for the same problem may compile twice; both results are
-	// identical and the cache keeps one.
-	c, ok := e.compiled.get(hash)
-	if ok {
-		e.met.compiledHits.Add(1)
-	} else {
-		e.met.compiledMisses.Add(1)
-		p, err := materialize()
-		if err != nil {
-			return nil, err
-		}
-		c, err = core.Compile(p, 0)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-		}
-		c.SetCompileWorkers(e.cfg.CompileWorkers)
-		e.compiled.add(hash, c)
+	c, err := e.compiledFor(ctx, hash, materialize)
+	if err != nil {
+		return nil, err
 	}
 
+	run := algorithms[req.Algo] // validated by solve before the flight
 	begin := time.Now()
 	res, dres, err := run(c, opts, maxNodes)
 	solveNs := time.Since(begin).Nanoseconds()
@@ -487,4 +533,44 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 	}
 	e.results.add(key, resp)
 	return resp, nil
+}
+
+// compiledFor returns the compiled model for the hashed problem,
+// consulting the compiled cache and coalescing concurrent compilations
+// of the same problem: requests that differ in algorithm or options
+// share one model, so their first concurrent wave costs one
+// compilation. One compilation serves every algorithm and every
+// (epsilon, seed) on the same problem. Callers hold a worker slot;
+// compile followers keep theirs while waiting (they run a solver the
+// moment the model lands), so the flight adds no slot pressure beyond
+// the requests themselves.
+func (e *Engine) compiledFor(ctx context.Context, hash string, materialize func() (*instance.Problem, error)) (*core.Compiled, error) {
+	if c, ok := e.compiled.get(hash); ok {
+		e.met.compiledHits.Add(1)
+		return c, nil
+	}
+	e.met.compiledMisses.Add(1)
+	c, coalesced, err := e.compileFlight.do(ctx, hash, func() (*core.Compiled, error) {
+		if gate := e.compileGate; gate != nil {
+			gate(hash)
+		}
+		if c, ok := e.compiled.get(hash); ok { // lost-race recheck
+			return c, nil
+		}
+		p, err := materialize()
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.Compile(p, 0)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		c.SetCompileWorkers(e.cfg.CompileWorkers)
+		e.compiled.add(hash, c)
+		return c, nil
+	})
+	if coalesced {
+		e.met.compilesCoalesced.Add(1)
+	}
+	return c, err
 }

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// driveEquivalence applies one deterministic get/add op sequence to a
+// sharded cache and to single-lock oracle lrus partitioned by the same
+// hash, comparing the hit/miss outcome of every get, the eviction
+// trace of every shard, and the final per-shard recency orders.
+func driveEquivalence(t *testing.T, shards, capacity, keys, ops int, seed int64) {
+	t.Helper()
+	sc := newShardedCache[int](capacity, shards)
+	perShard := (capacity + shards - 1) / shards
+	oracles := make([]*lru[int], shards)
+	scEvicts := make([][]string, shards)
+	orEvicts := make([][]string, shards)
+	for i := range oracles {
+		i := i
+		oracles[i] = newLRU[int](perShard)
+		oracles[i].onEvict = func(k string) { orEvicts[i] = append(orEvicts[i], k) }
+		sc.shards[i].onEvict = func(k string) { scEvicts[i] = append(scEvicts[i], k) }
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for op := 0; op < ops; op++ {
+		key := fmt.Sprintf("key-%d", rng.Intn(keys))
+		idx := sc.shardIndex(key)
+		if rng.Intn(3) == 0 {
+			sv, sok := sc.get(key)
+			ov, ook := oracles[idx].get(key)
+			if sok != ook || sv != ov {
+				t.Fatalf("op %d: get(%q) = (%d,%t) sharded vs (%d,%t) oracle", op, key, sv, sok, ov, ook)
+			}
+		} else {
+			sc.add(key, op)
+			oracles[idx].add(key, op)
+		}
+	}
+
+	for i := range oracles {
+		if got, want := sc.shards[i].keysMRU(), oracles[i].keysMRU(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d recency order diverged:\nsharded: %v\noracle:  %v", i, got, want)
+		}
+		if !reflect.DeepEqual(scEvicts[i], orEvicts[i]) {
+			t.Fatalf("shard %d eviction trace diverged:\nsharded: %v\noracle:  %v", i, scEvicts[i], orEvicts[i])
+		}
+		if sc.shards[i].len() != oracles[i].len() {
+			t.Fatalf("shard %d len %d vs oracle %d", i, sc.shards[i].len(), oracles[i].len())
+		}
+	}
+}
+
+// TestShardedCacheMatchesOracle: under a deterministic key sequence,
+// every shard of the sharded cache behaves byte-for-byte like the old
+// single-lock lru over that shard's key partition — same hits, same
+// misses, same evictions in the same order, same final recency order.
+func TestShardedCacheMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		shards, capacity, keys, ops int
+	}{
+		{1, 16, 64, 20000},  // the CacheShards=1 oracle path itself
+		{4, 32, 200, 20000}, // eviction-heavy: ~6x more keys than capacity
+		{8, 64, 96, 20000},  // hit-heavy: keys comparable to capacity
+		{4, 3, 50, 5000},    // capacity not divisible by shards (rounds up)
+	} {
+		t.Run(fmt.Sprintf("shards=%d/cap=%d", tc.shards, tc.capacity), func(t *testing.T) {
+			driveEquivalence(t, tc.shards, tc.capacity, tc.keys, tc.ops, 42)
+		})
+	}
+}
+
+// TestResolveShards pins the CacheShards knob semantics: 0 derives
+// from GOMAXPROCS (at least one shard), 1 is exactly one shard (the
+// oracle path), everything else rounds up to a power of two with a cap.
+func TestResolveShards(t *testing.T) {
+	if got := resolveShards(1); got != 1 {
+		t.Fatalf("resolveShards(1) = %d, want 1 (single-shard oracle path)", got)
+	}
+	for _, n := range []int{0, -3} {
+		got := resolveShards(n)
+		if got < 1 || got&(got-1) != 0 {
+			t.Fatalf("resolveShards(%d) = %d, want a positive power of two", n, got)
+		}
+	}
+	if got := resolveShards(3); got != 4 {
+		t.Fatalf("resolveShards(3) = %d, want 4", got)
+	}
+	if got := resolveShards(64); got != 64 {
+		t.Fatalf("resolveShards(64) = %d, want 64", got)
+	}
+	if got := resolveShards(100000); got != 256 {
+		t.Fatalf("resolveShards(100000) = %d, want the 256 cap", got)
+	}
+}
+
+// TestEngineShardConfigEquivalence: the same request stream produces
+// byte-identical responses and identical result hit/miss totals at one
+// shard (the oracle layout) and many shards — sharding is invisible
+// above the lock layout. Cache sizes are the defaults, so no eviction
+// fires: under eviction pressure per-shard LRU legitimately diverges
+// from global LRU (each shard evicts its own tail), which is the one
+// semantic difference sharding is allowed to make.
+func TestEngineShardConfigEquivalence(t *testing.T) {
+	run := func(shardCfg int) (resps []string, snap MetricsSnapshot) {
+		e := New(Config{Workers: 2, CacheShards: shardCfg})
+		defer e.Close()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 120; i++ {
+			resp, err := e.Solve(t.Context(), &Request{
+				Algo:         "tree-unit",
+				Scenario:     "profit-ladder",
+				ScenarioSeed: int64(rng.Intn(6)),
+				Seed:         uint64(rng.Intn(2)),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resps = append(resps, fmt.Sprintf("%.6f/%d", resp.Profit, resp.Scheduled))
+		}
+		return resps, e.Metrics()
+	}
+	oneR, oneS := run(1)
+	manyR, manyS := run(16)
+	if !reflect.DeepEqual(oneR, manyR) {
+		t.Fatal("responses diverged between CacheShards=1 and CacheShards=16")
+	}
+	if oneS.ResultHits != manyS.ResultHits || oneS.ResultMisses != manyS.ResultMisses {
+		t.Fatalf("result hit/miss diverged: 1 shard %d/%d vs 16 shards %d/%d",
+			oneS.ResultHits, oneS.ResultMisses, manyS.ResultHits, manyS.ResultMisses)
+	}
+	if oneS.CacheShards != 1 || manyS.CacheShards != 16 {
+		t.Fatalf("cache_shards snapshot = %d/%d, want 1/16", oneS.CacheShards, manyS.CacheShards)
+	}
+}
