@@ -7,6 +7,8 @@
 //	schedserver [-addr :8080] [-workers N] [-compile-workers N]
 //	            [-compiled-cache 64] [-result-cache 512] [-cache-shards N]
 //	            [-max-demands 20000] [-pprof]
+//	            [-trace-sample 0.01] [-slow-ms 500] [-recorder 128]
+//	            [-log-requests PATH|-]
 //
 // API:
 //
@@ -15,8 +17,11 @@
 //	POST /batch      NDJSON stream of solve requests -> NDJSON responses
 //	GET  /scenarios  preset library + algorithm registry
 //	GET  /healthz    liveness
-//	GET  /metrics    request/cache/latency counters (JSON)
+//	GET  /metrics    request/cache/latency counters (JSON), SLO burn rates
 //	GET  /metrics.prom  the same counters in Prometheus text format
+//	GET  /debug/requests       flight recorder: active + retained requests
+//	GET  /debug/requests/{id}  one request's record / span timeline
+//	GET  /debug/events         structured event log
 //	GET  /debug/pprof/  runtime profiles (only with -pprof)
 //
 // Responses are deterministic: equal requests (same problem or scenario
@@ -31,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -49,17 +55,37 @@ func main() {
 		maxDemands     = flag.Int("max-demands", 20000, "reject problems with more demands")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		enablePprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default: profiles expose internals)")
+		traceSample    = flag.Float64("trace-sample", 0.01, "probability an ordinary request keeps its span timeline in /debug/requests (slow and errored requests always keep theirs; 0 disables span recording entirely)")
+		slowMs         = flag.Int("slow-ms", 500, "requests slower than this land in the flight recorder's slow class")
+		recorderSize   = flag.Int("recorder", 128, "flight-recorder retained requests per class (recent/slow/error)")
+		logRequests    = flag.String("log-requests", "", "write one NDJSON line per completed request to this path (\"-\" = stderr)")
 	)
 	flag.Parse()
 
-	engine := service.New(service.Config{
+	cfg := service.Config{
 		Workers:           *workers,
 		CompileWorkers:    *compileWorkers,
 		CompiledCacheSize: *compiledCache,
 		ResultCacheSize:   *resultCache,
 		CacheShards:       *cacheShards,
 		MaxDemands:        *maxDemands,
-	})
+		TraceSample:       *traceSample,
+		SlowThreshold:     time.Duration(*slowMs) * time.Millisecond,
+		RecorderRequests:  *recorderSize,
+	}
+	if *logRequests != "" {
+		if *logRequests == "-" {
+			cfg.RequestLog = os.Stderr
+		} else {
+			f, err := os.OpenFile(*logRequests, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("schedserver: -log-requests: %v", err)
+			}
+			defer f.Close()
+			cfg.RequestLog = f
+		}
+	}
+	engine := service.New(cfg)
 
 	handler := engine.Handler()
 	if *enablePprof {

@@ -145,6 +145,31 @@ type LoadShardEntry struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// LoadRecorderEntry quantifies the flight recorder's serving cost on
+// fixed work: per-client arrival schedules are drawn once from the
+// saturation mix, then every engine — the pre-recorder oracle
+// (DisableRecorder), the serving default (recorder on, span sampling
+// off) and the fully traced mode (sample=1) — replays the byte-for-byte
+// identical traffic. Repetitions rotate the mode order (so a
+// process-level drift never lands on one mode) and each mode keeps its
+// best wall clock: min-of-K over identical work is robust against GC
+// and scheduler noise that dwarfs the true overhead per sample.
+type LoadRecorderEntry struct {
+	Clients int `json:"clients"`
+	Rounds  int `json:"rounds"`
+	// BaselineRPS is the DisableRecorder oracle; RecorderRPS the serving
+	// default (sample=0); TracedRPS the sample=1 mode.
+	BaselineRPS float64 `json:"baseline_rps"`
+	RecorderRPS float64 `json:"recorder_rps"`
+	TracedRPS   float64 `json:"traced_rps"`
+	// RecorderOverhead/TracedOverhead are the denoised throughput costs
+	// vs the baseline (0 = free; 0.03 = 3% slower). RecorderOverhead is
+	// the gated number: the default serving configuration must stay
+	// within the recorder-overhead tolerance.
+	RecorderOverhead float64 `json:"recorder_overhead"`
+	TracedOverhead   float64 `json:"traced_overhead"`
+}
+
 // LoadReport is the BENCH_load.json document.
 type LoadReport struct {
 	Note       string `json:"note"`
@@ -153,9 +178,10 @@ type LoadReport struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Quick marks a sized-down -quick run (shorter phases; rates and
 	// quantiles remain comparable, totals do not).
-	Quick        bool             `json:"quick,omitempty"`
-	Entries      []LoadEntry      `json:"entries"`
-	ShardEntries []LoadShardEntry `json:"shard_entries"`
+	Quick           bool                `json:"quick,omitempty"`
+	Entries         []LoadEntry         `json:"entries"`
+	ShardEntries    []LoadShardEntry    `json:"shard_entries"`
+	RecorderEntries []LoadRecorderEntry `json:"recorder_entries"`
 }
 
 // arrival is one scheduled request of the open-loop phase.
@@ -346,6 +372,26 @@ func loadEngine(cacheShards int) *service.Engine {
 		CacheShards:    cacheShards,
 		MaxSessions:    512,
 	})
+}
+
+// Recorder configurations of the overhead tier.
+const (
+	recModeOff    = "off"    // DisableRecorder: the pre-recorder oracle
+	recModeOn     = "on"     // recorder on, span sampling off (serving default)
+	recModeTraced = "traced" // sample=1: every request records its span timeline
+)
+
+// loadEngineRecorder is loadEngine with the recorder configuration of
+// the overhead tier's mode.
+func loadEngineRecorder(mode string) *service.Engine {
+	cfg := service.Config{CompileWorkers: 1, MaxSessions: 512}
+	switch mode {
+	case recModeOff:
+		cfg.DisableRecorder = true
+	case recModeTraced:
+		cfg.TraceSample = 1
+	}
+	return service.New(cfg)
 }
 
 // saturate measures closed-loop throughput: clients goroutines issuing
@@ -539,6 +585,96 @@ func clampRate(r float64) float64 {
 	return r
 }
 
+// measureRecorderEntry runs the recorder-overhead tier: rounds of the
+// mixed closed loop alternating between the three recorder
+// configurations on paired seeds (each round's three engines replay
+// identical traffic).
+func measureRecorderEntry(clients int, ph loadPhases, quick bool) (*LoadRecorderEntry, error) {
+	reps, perClient := 4, 4000
+	if quick {
+		reps, perClient = 2, 600
+	}
+	// Pre-draw deterministic per-client schedules once; every engine in
+	// every repetition replays exactly this traffic. Session job ids and
+	// cold seeds are fixed at draw time, so "identical" holds
+	// byte-for-byte across engines.
+	scheds := make([][]arrival, clients)
+	for i := range scheds {
+		w, err := newLoadWorkload(50_000+int64(clients)+int64(i)*7919, loadSessionShare)
+		if err != nil {
+			return nil, err
+		}
+		sched := make([]arrival, perClient)
+		for j := range sched {
+			sched[j] = w.drawClosed()
+		}
+		scheds[i] = sched
+	}
+	total := clients * perClient
+	modes := []string{recModeOff, recModeOn, recModeTraced}
+	bestRPS := make(map[string]float64, len(modes))
+	for rep := 0; rep < reps; rep++ {
+		for mi := range modes {
+			mode := modes[(rep+mi)%len(modes)] // rotate order so drift never lands on one mode
+			e := loadEngineRecorder(mode)
+			wall, err := replayFixed(e, scheds)
+			e.Close()
+			if err != nil {
+				return nil, fmt.Errorf("bench: recorder/%s rep %d: %v", mode, rep, err)
+			}
+			if rps := float64(total) / wall.Seconds(); rps > bestRPS[mode] {
+				bestRPS[mode] = rps
+			}
+		}
+	}
+	overhead := func(v float64) float64 {
+		base := bestRPS[recModeOff]
+		if base <= 0 {
+			return 0
+		}
+		o := 1 - v/base
+		if o < 0 {
+			return 0
+		}
+		return o
+	}
+	return &LoadRecorderEntry{
+		Clients:          clients,
+		Rounds:           reps,
+		BaselineRPS:      bestRPS[recModeOff],
+		RecorderRPS:      bestRPS[recModeOn],
+		TracedRPS:        bestRPS[recModeTraced],
+		RecorderOverhead: overhead(bestRPS[recModeOn]),
+		TracedOverhead:   overhead(bestRPS[recModeTraced]),
+	}, nil
+}
+
+// replayFixed runs every pre-drawn client schedule to completion on e
+// and returns the wall clock of the whole fixed workload.
+func replayFixed(e *service.Engine, scheds [][]arrival) (time.Duration, error) {
+	ctx := context.Background()
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for _, sched := range scheds {
+		wg.Add(1)
+		go func(sched []arrival) {
+			defer wg.Done()
+			for _, a := range sched {
+				if a.run(ctx, e) != nil {
+					errs.Add(1)
+				}
+			}
+		}(sched)
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+	if n := errs.Load(); n > 0 {
+		return 0, fmt.Errorf("%d requests failed", n)
+	}
+	return wall, nil
+}
+
 // shardContentionRPS measures the result-hit-heavy closed loop on an
 // engine with the given shard layout: hot keys are prewarmed, then
 // clients hammer cache hits — the regime where the cache lock is the
@@ -597,7 +733,9 @@ func LoadBench(quick bool) (*LoadReport, error) {
 			fmt.Sprintf("%.0f%%", openLoopLoadFactor*100) + " of saturation measured from scheduled " +
 			"arrival (queueing included), with singleflight coalescing and cache-hit rates; " +
 			"shard_entries = the same hit-heavy closed loop on single-lock vs sharded caches " +
-			"(speedup gates apply only on >=4-core runners)",
+			"(speedup gates apply only on >=4-core runners); recorder_entries = the mixed closed " +
+			"loop with the flight recorder off / on (sample=0, the serving default) / fully traced " +
+			"(sample=1), gated on the serving default's overhead",
 		Regenerate: "go run ./cmd/schedbench -load -o BENCH_load.json",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -627,6 +765,12 @@ func LoadBench(quick bool) (*LoadReport, error) {
 		se.Speedup = sharded / single
 	}
 	report.ShardEntries = append(report.ShardEntries, se)
+
+	re, err := measureRecorderEntry(contentionClients, ph, quick)
+	if err != nil {
+		return nil, err
+	}
+	report.RecorderEntries = append(report.RecorderEntries, *re)
 	return report, nil
 }
 
@@ -642,6 +786,13 @@ const (
 	// runners: the sharded layout must beat the single lock by at least
 	// this factor on the hit-heavy loop.
 	minShardSpeedup = 1.1
+	// recorderOverheadTol / recorderOverheadTolQuick cap the serving
+	// default's (recorder on, sampling off) denoised throughput cost vs
+	// the DisableRecorder oracle. The gate is a within-run ratio, so it
+	// applies on every runner; the quick tolerance is loose because
+	// sub-second windows carry real scheduler noise.
+	recorderOverheadTol      = 0.03
+	recorderOverheadTolQuick = 0.25
 )
 
 // CheckLoad validates a fresh report and compares it against the
@@ -691,6 +842,24 @@ func CheckLoad(current, baseline *LoadReport) error {
 	}
 	if len(current.ShardEntries) == 0 {
 		failures = append(failures, "report has no shard-contention entries")
+	}
+	if len(current.RecorderEntries) == 0 {
+		failures = append(failures, "report has no recorder-overhead entries")
+	}
+	recTol := recorderOverheadTol
+	if current.Quick {
+		recTol = recorderOverheadTolQuick
+	}
+	for _, re := range current.RecorderEntries {
+		id := fmt.Sprintf("recorder/%d clients", re.Clients)
+		if re.BaselineRPS <= 0 || re.RecorderRPS <= 0 || re.TracedRPS <= 0 {
+			failures = append(failures, id+": non-positive throughput")
+		}
+		if re.RecorderOverhead > recTol {
+			failures = append(failures, fmt.Sprintf(
+				"%s: recorder overhead %.1f%% vs the DisableRecorder oracle (> allowed %.1f%%)",
+				id, re.RecorderOverhead*100, recTol*100))
+		}
 	}
 	for _, se := range current.ShardEntries {
 		if se.SingleShardRPS <= 0 || se.ShardedRPS <= 0 {

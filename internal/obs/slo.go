@@ -1,0 +1,122 @@
+package obs
+
+// SLO accounting: a latency objective tracked as good/total counters
+// plus burn-rate gauges. Burn rate is the SRE consumption ratio — the
+// observed bad fraction divided by the error budget (1 - target) — so
+// 1.0 means "burning budget exactly as fast as the objective allows",
+// anything sustained above 1.0 means the objective will be missed.
+// Alongside the cumulative rate the tracker keeps a short sliding
+// window (fixed ring of coarse time buckets) so the exported gauge
+// reacts to a regression within minutes instead of being averaged away
+// by a long uptime.
+
+import (
+	"sync"
+	"time"
+)
+
+// sloWindowBuckets × sloBucketNs is the sliding-window span: 20 × 15s
+// = 5 minutes, the classic fast-burn alerting window.
+const (
+	sloWindowBuckets = 20
+	sloBucketNs      = int64(15 * time.Second)
+)
+
+type sloBucket struct {
+	epoch int64 // bucket timestamp (unix ns / sloBucketNs); stale buckets are skipped
+	good  int64
+	total int64
+}
+
+// SLO tracks one endpoint class against a latency objective. Good and
+// Total are supplied by the caller (typically registry-owned counters,
+// so the raw series appear in /metrics.prom); the window ring is
+// internal. Safe for concurrent use.
+type SLO struct {
+	// ObjectiveNs is the latency objective: a request is good when it
+	// succeeds within this budget.
+	ObjectiveNs int64
+	// Target is the good-fraction objective (e.g. 0.99); the error
+	// budget is 1 - Target.
+	Target float64
+	// Good counts requests that met the objective; Total counts every
+	// accounted request.
+	Good  *Counter
+	Total *Counter
+
+	mu      sync.Mutex
+	buckets [sloWindowBuckets]sloBucket
+
+	// now is a test seam; nil means time.Now.
+	now func() int64
+}
+
+// NewSLO builds a tracker over caller-registered counters.
+func NewSLO(objective time.Duration, target float64, good, total *Counter) *SLO {
+	return &SLO{ObjectiveNs: objective.Nanoseconds(), Target: target, Good: good, Total: total}
+}
+
+func (s *SLO) nowNs() int64 {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now().UnixNano()
+}
+
+// Observe accounts one request: failed marks a server-side failure
+// (client errors should not be fed here — they spend no error budget).
+func (s *SLO) Observe(durNs int64, failed bool) {
+	good := !failed && durNs <= s.ObjectiveNs
+	s.Total.Add(1)
+	if good {
+		s.Good.Add(1)
+	}
+	epoch := s.nowNs() / sloBucketNs
+	b := &s.buckets[epoch%sloWindowBuckets]
+	s.mu.Lock()
+	if b.epoch != epoch {
+		b.epoch, b.good, b.total = epoch, 0, 0
+	}
+	b.total++
+	if good {
+		b.good++
+	}
+	s.mu.Unlock()
+}
+
+// burn converts a good/total pair to a burn rate against the error
+// budget. A fully spent budget with a zero budget denominator cannot
+// happen (Target < 1 is enforced by the caller's defaults); no traffic
+// burns nothing.
+func (s *SLO) burn(good, total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - s.Target
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	bad := float64(total-good) / float64(total)
+	return bad / budget
+}
+
+// BurnRate returns the sliding-window burn rate (the last ~5 minutes).
+func (s *SLO) BurnRate() float64 {
+	epoch := s.nowNs() / sloBucketNs
+	var good, total int64
+	s.mu.Lock()
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		if b.epoch > epoch-sloWindowBuckets {
+			good += b.good
+			total += b.total
+		}
+	}
+	s.mu.Unlock()
+	return s.burn(good, total)
+}
+
+// TotalBurnRate returns the cumulative burn rate since construction.
+func (s *SLO) TotalBurnRate() float64 {
+	return s.burn(s.Good.Load(), s.Total.Load())
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// testSLO builds a tracker with an injected clock starting at epoch 0.
+func testSLO(objective time.Duration, target float64) (*SLO, *int64) {
+	now := new(int64)
+	s := NewSLO(objective, target, new(Counter), new(Counter))
+	s.now = func() int64 { return *now }
+	return s, now
+}
+
+// TestSLOBurnRate: the burn rate is the bad fraction over the error
+// budget — 1.0 means spending budget exactly at the allowed rate.
+func TestSLOBurnRate(t *testing.T) {
+	s, _ := testSLO(100*time.Millisecond, 0.99)
+
+	for i := 0; i < 99; i++ {
+		s.Observe(int64(time.Millisecond), false)
+	}
+	if br := s.BurnRate(); br != 0 {
+		t.Fatalf("all-good burn rate = %g, want 0", br)
+	}
+
+	// One bad request in 100: bad fraction 0.01 over a 0.01 budget = 1.0.
+	s.Observe(int64(time.Second), false) // objective miss counts as bad
+	if br := s.BurnRate(); br < 0.99 || br > 1.01 {
+		t.Fatalf("burn rate = %g, want ~1.0", br)
+	}
+	if br := s.TotalBurnRate(); br < 0.99 || br > 1.01 {
+		t.Fatalf("total burn rate = %g, want ~1.0", br)
+	}
+	if g, tot := s.Good.Load(), s.Total.Load(); g != 99 || tot != 100 {
+		t.Fatalf("good/total = %d/%d, want 99/100", g, tot)
+	}
+
+	// A fast failure is bad too.
+	s.Observe(int64(time.Millisecond), true)
+	if br := s.BurnRate(); br <= 1.0 {
+		t.Fatalf("burn rate after failure = %g, want > 1", br)
+	}
+}
+
+// TestSLOWindowExpiry: the sliding window forgets a regression after
+// ~5 minutes while the cumulative rate remembers it.
+func TestSLOWindowExpiry(t *testing.T) {
+	s, now := testSLO(100*time.Millisecond, 0.99)
+
+	s.Observe(int64(time.Millisecond), true) // one bad request at t=0
+	if br := s.BurnRate(); br <= 0 {
+		t.Fatalf("fresh failure invisible in the window: %g", br)
+	}
+
+	*now = int64(10 * time.Minute) // well past the 5-minute window
+	if br := s.BurnRate(); br != 0 {
+		t.Fatalf("expired failure still burning the window: %g", br)
+	}
+	if br := s.TotalBurnRate(); br <= 0 {
+		t.Fatalf("cumulative rate forgot the failure: %g", br)
+	}
+
+	// Fresh traffic lands in current buckets, replacing stale epochs.
+	for i := 0; i < 10; i++ {
+		s.Observe(int64(time.Millisecond), false)
+	}
+	if br := s.BurnRate(); br != 0 {
+		t.Fatalf("good-only window burns: %g", br)
+	}
+}
+
+// TestRoundsSummary pins the wall-clock reduction of BSP round samples
+// and its attachment to trace exports.
+func TestRoundsSummary(t *testing.T) {
+	samples := []RoundSample{
+		{Kind: "exchange", Messages: 10, Entries: 20, StepNs: 100},
+		{Kind: "aggregate", Messages: 1, Entries: 2, StepNs: 300},
+		{Kind: "exchange", Messages: 5, Entries: 5, StepNs: 50},
+	}
+	s := SummarizeRounds(samples)
+	if s.Rounds != 3 || s.Exchanges != 2 || s.Aggregates != 1 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.ExchangeNs != 150 || s.AggregateNs != 300 || s.TotalStepNs != 450 || s.MaxStepNs != 300 {
+		t.Fatalf("times = %+v", s)
+	}
+
+	tr := NewTrace()
+	tr.AddRounds(samples)
+	exp := tr.Export()
+	if exp.RoundsSummary == nil || exp.RoundsSummary.TotalStepNs != 450 {
+		t.Fatalf("export rounds summary = %+v", exp.RoundsSummary)
+	}
+
+	var empty *Trace
+	if empty.Export().RoundsSummary != nil {
+		t.Fatal("nil trace export grew a rounds summary")
+	}
+}

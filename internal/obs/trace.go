@@ -202,11 +202,50 @@ func (t *Trace) CounterTotal(span, name string) int64 {
 	return sum
 }
 
+// RoundsSummary aggregates the wall-clock axis of the attached BSP
+// rounds: per-kind totals and the worst single superstep. The time
+// axis of individual rounds is the prefix sum of their step_ns fields
+// (each StepNs is measured from the previous collective's completion).
+type RoundsSummary struct {
+	Rounds      int   `json:"rounds"`
+	Exchanges   int   `json:"exchanges"`
+	Aggregates  int   `json:"aggregates"`
+	ExchangeNs  int64 `json:"exchange_ns"`
+	AggregateNs int64 `json:"aggregate_ns"`
+	TotalStepNs int64 `json:"total_step_ns"`
+	MaxStepNs   int64 `json:"max_step_ns"`
+}
+
+// SummarizeRounds reduces samples to their wall-clock summary.
+func SummarizeRounds(samples []RoundSample) RoundsSummary {
+	var s RoundsSummary
+	for i := range samples {
+		r := &samples[i]
+		s.Rounds++
+		s.TotalStepNs += r.StepNs
+		if r.StepNs > s.MaxStepNs {
+			s.MaxStepNs = r.StepNs
+		}
+		switch r.Kind {
+		case "exchange":
+			s.Exchanges++
+			s.ExchangeNs += r.StepNs
+		case "aggregate":
+			s.Aggregates++
+			s.AggregateNs += r.StepNs
+		}
+	}
+	return s
+}
+
 // TraceExport is the JSON shape written by schedtool solve -trace-out.
 type TraceExport struct {
 	TotalNs int64         `json:"total_ns"` // origin → Export call
 	Spans   []Span        `json:"spans"`
 	Rounds  []RoundSample `json:"rounds,omitempty"`
+	// RoundsSummary gives distributed solves a wall-clock round axis at
+	// a glance; nil when the trace attached no BSP rounds.
+	RoundsSummary *RoundsSummary `json:"rounds_summary,omitempty"`
 }
 
 // Export freezes the trace for serialization.
@@ -214,9 +253,14 @@ func (t *Trace) Export() TraceExport {
 	if t == nil {
 		return TraceExport{}
 	}
-	return TraceExport{
+	out := TraceExport{
 		TotalNs: time.Since(t.origin).Nanoseconds(),
 		Spans:   t.spans,
 		Rounds:  t.rounds,
 	}
+	if len(t.rounds) > 0 {
+		s := SummarizeRounds(t.rounds)
+		out.RoundsSummary = &s
+	}
+	return out
 }

@@ -16,8 +16,10 @@ type lru[V any] struct {
 	cap   int
 	order *list.List // front = most recent; values are *lruEntry[V]
 	items map[string]*list.Element
-	// onEvict, when set (tests only — it runs under mu), observes each
-	// capacity eviction in order.
+	// onEvict, when set, observes each capacity eviction in order. It
+	// runs under mu and must not call back into the cache. Production
+	// engines route it into the flight recorder's event log; the
+	// equivalence tests use it to compare eviction sequences.
 	onEvict func(key string)
 }
 

@@ -1,0 +1,126 @@
+package service
+
+// /debug endpoints: the HTTP face of the engine's flight recorder.
+//
+//	GET /debug/requests       in-flight requests (with their current
+//	                          phase) plus the retained completed records
+//	                          per class (recent / slow / error), span
+//	                          timelines stripped
+//	GET /debug/requests/{id}  the full record of one request — the span
+//	                          timeline when one was retained, or the
+//	                          live view while it is still in flight
+//	GET /debug/events         the structured event log (evictions,
+//	                          coalesce outcomes, session lifecycle)
+//
+// All payloads are plain JSON with the single-status contract of the
+// rest of the API. With Config.DisableRecorder the endpoints answer 404.
+
+import (
+	"net/http"
+	"strconv"
+
+	"treesched/internal/obs"
+)
+
+// debugListMax caps listing sizes when the client does not pass ?max=N.
+const debugListMax = 32
+
+// debugMax parses ?max=N; invalid or absent values take debugListMax.
+func debugMax(r *http.Request) int {
+	if v := r.URL.Query().Get("max"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return debugListMax
+}
+
+// recorderOr404 resolves the engine recorder, answering 404 when the
+// engine runs without one.
+func (e *Engine) recorderOr404(w http.ResponseWriter) *obs.Recorder {
+	if e.rec == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder disabled"})
+		return nil
+	}
+	return e.rec
+}
+
+// debugRequestsPayload is the GET /debug/requests body.
+type debugRequestsPayload struct {
+	Active []obs.ActiveReq `json:"active"`
+	Recent []obs.ReqRecord `json:"recent"`
+	Slow   []obs.ReqRecord `json:"slow"`
+	Errors []obs.ReqRecord `json:"errors"`
+}
+
+func (e *Engine) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	rec := e.recorderOr404(w)
+	if rec == nil {
+		return
+	}
+	max := debugMax(r)
+	p := debugRequestsPayload{
+		Active: rec.Active(),
+		Recent: rec.Completed(obs.ClassRecent, max),
+		Slow:   rec.Completed(obs.ClassSlow, max),
+		Errors: rec.Completed(obs.ClassError, max),
+	}
+	// Empty listings marshal as [], never null.
+	if p.Active == nil {
+		p.Active = []obs.ActiveReq{}
+	}
+	if p.Recent == nil {
+		p.Recent = []obs.ReqRecord{}
+	}
+	if p.Slow == nil {
+		p.Slow = []obs.ReqRecord{}
+	}
+	if p.Errors == nil {
+		p.Errors = []obs.ReqRecord{}
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+// debugRequestPayload is the GET /debug/requests/{id} body: exactly one
+// of Record (completed, possibly with its span timeline) or Active
+// (still in flight) is set.
+type debugRequestPayload struct {
+	Record *obs.ReqRecord `json:"record,omitempty"`
+	Active *obs.ActiveReq `json:"active,omitempty"`
+}
+
+func (e *Engine) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	rec := e.recorderOr404(w)
+	if rec == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if rq, ok := rec.Lookup(id); ok {
+		writeJSON(w, http.StatusOK, debugRequestPayload{Record: &rq})
+		return
+	}
+	for _, a := range rec.Active() {
+		if a.ID == id {
+			writeJSON(w, http.StatusOK, debugRequestPayload{Active: &a})
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "no retained record for request id " + strconv.Quote(id)})
+}
+
+// debugEventsPayload is the GET /debug/events body.
+type debugEventsPayload struct {
+	Events []obs.Event `json:"events"`
+}
+
+func (e *Engine) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	rec := e.recorderOr404(w)
+	if rec == nil {
+		return
+	}
+	evs := rec.Events(debugMax(r))
+	if evs == nil {
+		evs = []obs.Event{}
+	}
+	writeJSON(w, http.StatusOK, debugEventsPayload{Events: evs})
+}

@@ -29,33 +29,37 @@ type flightGroup[V any] struct {
 type flightCall[V any] struct {
 	done    chan struct{} // closed after val/err are final
 	waiters int           // followers currently blocked (guarded by group mu)
+	owner   string        // the leader's request id, for follower→leader trace linkage
 	val     V
 	err     error
 }
 
 // do executes fn under key as described on flightGroup. coalesced
-// reports whether this call was a follower. fn must not call back into
-// the same group with the same key (self-deadlock); panics in fn are
-// the caller's responsibility to convert to errors — a panic that
-// escapes fn would strand followers, so every fn in this package
-// recovers at its top.
-func (g *flightGroup[V]) do(ctx context.Context, key string, fn func() (V, error)) (v V, coalesced bool, err error) {
+// reports whether this call was a follower; leader is the owner id the
+// flight's leader registered (its request id — followers link their
+// flight-recorder records to it, since the leader's trace carries the
+// span timeline both share). fn must not call back into the same group
+// with the same key (self-deadlock); panics in fn are the caller's
+// responsibility to convert to errors — a panic that escapes fn would
+// strand followers, so every fn in this package recovers at its top.
+func (g *flightGroup[V]) do(ctx context.Context, key, owner string, fn func() (V, error)) (v V, coalesced bool, leader string, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall[V])
 	}
 	if c, ok := g.m[key]; ok {
 		c.waiters++
+		leader = c.owner
 		g.mu.Unlock()
 		select {
 		case <-c.done:
-			return c.val, true, c.err
+			return c.val, true, leader, c.err
 		case <-ctx.Done():
 			var zero V
-			return zero, true, ctx.Err()
+			return zero, true, leader, ctx.Err()
 		}
 	}
-	c := &flightCall[V]{done: make(chan struct{})}
+	c := &flightCall[V]{done: make(chan struct{}), owner: owner}
 	g.m[key] = c
 	g.mu.Unlock()
 
@@ -65,7 +69,7 @@ func (g *flightGroup[V]) do(ctx context.Context, key string, fn func() (V, error
 	delete(g.m, key)
 	g.mu.Unlock()
 	close(c.done)
-	return c.val, false, c.err
+	return c.val, false, "", c.err
 }
 
 // waitersFor reports how many followers are currently blocked on key.

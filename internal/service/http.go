@@ -30,19 +30,50 @@ import (
 //	                                resolve) applied in order -> SessionEventsResult
 //	GET    /session/{id}/schedule   resolve staged events -> SessionSchedule
 //	DELETE /session/{id}            close the session
+//
+// Flight-recorder introspection (see debug.go):
+//
+//	GET /debug/requests       active + retained completed requests
+//	GET /debug/requests/{id}  one request's full record / span timeline
+//	GET /debug/events         the structured event log
+//
+// Engine endpoints accept an X-Request-ID header (minting one when
+// absent) and echo it on the response; the id keys the request's
+// flight-recorder record, so a client can quote it to /debug/requests/{id}.
 func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /solve", e.handleSolve)
-	mux.HandleFunc("POST /batch", e.handleBatch)
+	mux.HandleFunc("POST /solve", e.instrumented("solve", e.handleSolve))
+	mux.HandleFunc("POST /batch", e.instrumented("batch", e.handleBatch))
 	mux.HandleFunc("GET /scenarios", e.handleScenarios)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	mux.HandleFunc("GET /metrics.prom", e.handleMetricsProm)
-	mux.HandleFunc("POST /session", e.handleSessionOpen)
-	mux.HandleFunc("POST /session/{id}/events", e.handleSessionEvents)
-	mux.HandleFunc("GET /session/{id}/schedule", e.handleSessionSchedule)
-	mux.HandleFunc("DELETE /session/{id}", e.handleSessionClose)
+	mux.HandleFunc("POST /session", e.instrumented("session_open", e.handleSessionOpen))
+	mux.HandleFunc("POST /session/{id}/events", e.instrumented("session_events", e.handleSessionEvents))
+	mux.HandleFunc("GET /session/{id}/schedule", e.instrumented("session_schedule", e.handleSessionSchedule))
+	mux.HandleFunc("DELETE /session/{id}", e.instrumented("session_close", e.handleSessionClose))
+	mux.HandleFunc("GET /debug/requests", e.handleDebugRequests)
+	mux.HandleFunc("GET /debug/requests/{id}", e.handleDebugRequest)
+	mux.HandleFunc("GET /debug/events", e.handleDebugEvents)
 	return mux
+}
+
+// instrumented wraps an engine endpoint: it accepts the client's
+// X-Request-ID (minting a recorder id when absent), echoes the id on
+// the response header, and deposits id + endpoint class in the request
+// context for the engine to record under. With the recorder disabled
+// and no client id, behavior is unchanged — no header, no context keys.
+func (e *Engine) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" && e.rec != nil {
+			id = e.rec.NextID()
+		}
+		if id != "" {
+			w.Header().Set("X-Request-ID", id)
+		}
+		h(w, r.WithContext(withEndpoint(WithRequestID(r.Context(), id), endpoint)))
+	}
 }
 
 // maxRequestBytes bounds one /solve body or one /batch line.
@@ -102,6 +133,11 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxRequestBytes)
+	// Each line records under a derived id ("<batch id>.<line>"), so one
+	// batch's solves group in /debug/requests under the id the batch
+	// response echoed.
+	baseID := RequestIDFrom(r.Context())
+	lineNo := 0
 	e.orderedSolves(
 		func() (func() any, bool) {
 			for sc.Scan() {
@@ -110,12 +146,18 @@ func (e *Engine) handleBatch(w http.ResponseWriter, r *http.Request) {
 				if len(line) == 0 {
 					continue
 				}
+				idx := lineNo
+				lineNo++
 				return func() any {
 					var req Request
 					if err := json.Unmarshal(line, &req); err != nil {
 						return encodeLine(errorBody{Error: fmt.Sprintf("decode request: %v", err)})
 					}
-					resp, err := e.Solve(r.Context(), &req)
+					ctx := r.Context()
+					if baseID != "" {
+						ctx = WithRequestID(ctx, fmt.Sprintf("%s.%d", baseID, idx))
+					}
+					resp, err := e.Solve(ctx, &req)
 					if err != nil {
 						return encodeLine(errorBody{Error: err.Error()})
 					}

@@ -169,6 +169,37 @@ type MetricsSnapshot struct {
 	// AlgoNames is ByAlgo's key set in sorted order, for deterministic
 	// iteration by clients.
 	AlgoNames []string `json:"algo_names"`
+	// SLO reports each endpoint class's standing against its latency
+	// objective ("solve" covers /solve and /batch lines, "session"
+	// covers session event batches and schedule resolves). Additive:
+	// every historical snapshot key above is unchanged.
+	SLO map[string]SLOSnapshot `json:"slo"`
+}
+
+// SLOSnapshot is one endpoint class's SLO standing. Good/Total are the
+// accounted requests (client errors spend no budget and are excluded);
+// the burn rates are the bad fraction divided by the error budget
+// (1 - Target) — sustained values above 1 mean the objective will be
+// missed. BurnRate5m reads a ~5-minute sliding window, BurnRateTotal
+// the whole uptime.
+type SLOSnapshot struct {
+	ObjectiveMillis float64 `json:"objective_millis"`
+	Target          float64 `json:"target"`
+	Good            int64   `json:"good"`
+	Total           int64   `json:"total"`
+	BurnRate5m      float64 `json:"burn_rate_5m"`
+	BurnRateTotal   float64 `json:"burn_rate_total"`
+}
+
+func sloSnapshot(s *obs.SLO) SLOSnapshot {
+	return SLOSnapshot{
+		ObjectiveMillis: float64(s.ObjectiveNs) / float64(time.Millisecond),
+		Target:          s.Target,
+		Good:            s.Good.Load(),
+		Total:           s.Total.Load(),
+		BurnRate5m:      s.BurnRate(),
+		BurnRateTotal:   s.TotalBurnRate(),
+	}
 }
 
 func (m *metrics) snapshot(compiledEntries, resultEntries, sessionsOpen int) MetricsSnapshot {

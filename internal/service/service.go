@@ -28,6 +28,7 @@ import (
 
 	"treesched/internal/core"
 	"treesched/internal/instance"
+	"treesched/internal/obs"
 	"treesched/internal/scenario"
 	"treesched/internal/verify"
 )
@@ -72,6 +73,40 @@ type Config struct {
 	// SessionIdleTimeout evicts sessions untouched for this long
 	// (default 15m). Sweeps run on session operations.
 	SessionIdleTimeout time.Duration
+
+	// Flight recorder (request-scoped observability; see obs.Recorder).
+	//
+	// TraceSample is the probability an ordinary completed request
+	// retains its span timeline in the recorder's recent class. Any
+	// value > 0 turns span recording on for every request — slow and
+	// errored requests then always keep their timelines regardless of
+	// the dice. 0 (the default) disables span trees entirely: responses
+	// are byte-identical to an uninstrumented engine and no Trace is
+	// allocated anywhere (the recorder still keeps its constant-cost
+	// request records).
+	TraceSample float64
+	// SlowThreshold classifies completions slower than this into the
+	// recorder's slow class (default 500ms).
+	SlowThreshold time.Duration
+	// RecorderRequests is the per-class retained-record capacity
+	// (default 128); RecorderEvents the event-log capacity (default
+	// 256). DisableRecorder removes the recorder entirely — the
+	// pre-recorder oracle path, used by the overhead benchmarks.
+	RecorderRequests int
+	RecorderEvents   int
+	DisableRecorder  bool
+	// RequestLog, when non-nil, receives one NDJSON line per completed
+	// request (the recorder's ReqRecord schema, span timelines
+	// stripped). Writes are serialized by the engine.
+	RequestLog io.Writer
+
+	// SLO objectives per endpoint class (solve covers /solve and /batch
+	// lines; session covers session resolves/schedules). A request is
+	// "good" when it succeeds within the objective; client errors spend
+	// no budget. Defaults: 250ms at a 0.99 target.
+	SolveSLO   time.Duration
+	SessionSLO time.Duration
+	SLOTarget  float64
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +130,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SessionIdleTimeout <= 0 {
 		c.SessionIdleTimeout = 15 * time.Minute
+	}
+	if c.SlowThreshold <= 0 {
+		c.SlowThreshold = 500 * time.Millisecond
+	}
+	if c.RecorderRequests <= 0 {
+		c.RecorderRequests = 128
+	}
+	if c.RecorderEvents <= 0 {
+		c.RecorderEvents = 256
+	}
+	if c.SolveSLO <= 0 {
+		c.SolveSLO = 250 * time.Millisecond
+	}
+	if c.SessionSLO <= 0 {
+		c.SessionSLO = 250 * time.Millisecond
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.99
 	}
 	return c
 }
@@ -212,6 +265,14 @@ type Engine struct {
 	met         *metrics
 	start       time.Time
 
+	// rec is the flight recorder (nil only with Config.DisableRecorder —
+	// every use is nil-safe). sloSolve/sloSession account the two
+	// endpoint classes against their latency objectives.
+	rec        *obs.Recorder
+	sloSolve   *obs.SLO
+	sloSession *obs.SLO
+	reqLogMu   sync.Mutex // serializes Config.RequestLog writes
+
 	// solveFlight coalesces concurrent identical requests (same result
 	// key) into one executing solve; compileFlight coalesces concurrent
 	// compilations of one problem (same canonical hash) across requests
@@ -254,8 +315,70 @@ func New(cfg Config) *Engine {
 		func() float64 { return float64(e.sessions.len()) })
 	e.met.reg.GaugeFunc("sched_uptime_seconds", "Seconds since the engine was constructed.",
 		func() float64 { return e.Uptime().Seconds() })
+
+	// SLO accounting: good/total counters registered per class (so the
+	// raw series scrape), burn rates computed at scrape time.
+	e.sloSolve = e.newSLO("solve", cfg.SolveSLO, cfg.SLOTarget)
+	e.sloSession = e.newSLO("session", cfg.SessionSLO, cfg.SLOTarget)
+
+	if !cfg.DisableRecorder {
+		e.rec = obs.NewRecorder(obs.RecorderConfig{
+			PerClass: cfg.RecorderRequests,
+			Events:   cfg.RecorderEvents,
+			SlowNs:   cfg.SlowThreshold.Nanoseconds(),
+			Sample:   cfg.TraceSample,
+		})
+		e.met.reg.GaugeFunc("sched_active_requests", "Requests currently tracked in flight by the recorder.",
+			func() float64 { return float64(e.rec.ActiveCount()) })
+		if cfg.RequestLog != nil {
+			e.rec.OnRecord = e.writeRequestLog
+		}
+		// Cache evictions become recorder events — today they are visible
+		// only as occupancy deltas.
+		e.compiled.setOnEvict(func(key string) { e.rec.Event("evict_compiled", "", key) })
+		e.results.setOnEvict(func(key string) { e.rec.Event("evict_result", "", key) })
+	}
 	return e
 }
+
+// newSLO registers one endpoint class's SLO series and builds its
+// tracker. Burn rates are exported as gauges: window="5m" reacts to a
+// fresh regression, window="total" is the lifetime budget spend.
+func (e *Engine) newSLO(class string, objective time.Duration, target float64) *obs.SLO {
+	label := obs.Label{Name: "class", Value: class}
+	good := e.met.reg.Counter("sched_slo_good_total",
+		"Requests that succeeded within their class's latency objective.", label)
+	total := e.met.reg.Counter("sched_slo_requests_total",
+		"Requests accounted against the class's latency objective (client errors excluded).", label)
+	s := obs.NewSLO(objective, target, good, total)
+	e.met.reg.GaugeFunc("sched_slo_burn_rate",
+		"Error-budget burn rate: bad fraction / (1 - target); sustained >1 means the objective will be missed.",
+		s.BurnRate, label, obs.Label{Name: "window", Value: "5m"})
+	e.met.reg.GaugeFunc("sched_slo_burn_rate",
+		"Error-budget burn rate: bad fraction / (1 - target); sustained >1 means the objective will be missed.",
+		s.TotalBurnRate, label, obs.Label{Name: "window", Value: "total"})
+	return s
+}
+
+// writeRequestLog is the recorder's OnRecord sink when Config.RequestLog
+// is set: one NDJSON line per completed request, span timelines
+// stripped (the /debug endpoints serve those), writes serialized.
+func (e *Engine) writeRequestLog(rec *obs.ReqRecord) {
+	line := *rec
+	line.Trace = nil
+	data, err := json.Marshal(&line)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	e.reqLogMu.Lock()
+	e.cfg.RequestLog.Write(data) // nolint:errcheck — logging must not fail requests
+	e.reqLogMu.Unlock()
+}
+
+// Recorder exposes the engine's flight recorder (nil when disabled):
+// the /debug handlers and tests read it.
+func (e *Engine) Recorder() *obs.Recorder { return e.rec }
 
 // Close marks the engine closed and waits for in-flight solves to drain.
 func (e *Engine) Close() {
@@ -279,6 +402,10 @@ func (e *Engine) enter() error {
 func (e *Engine) Metrics() MetricsSnapshot {
 	s := e.met.snapshot(e.compiled.len(), e.results.len(), e.sessions.len())
 	s.CacheShards = e.cacheShards
+	s.SLO = map[string]SLOSnapshot{
+		"solve":   sloSnapshot(e.sloSolve),
+		"session": sloSnapshot(e.sloSession),
+	}
 	return s
 }
 
@@ -381,6 +508,76 @@ func resultKey(problemHash, algo string, opts core.Options, maxNodes int64) stri
 		problemHash, algo, opts.Epsilon, opts.Seed, opts.FixedRounds, maxNodes)
 }
 
+// ctxKey keys the request-scoped values the HTTP layer deposits for
+// the engine: the request id (accepted or minted from X-Request-ID)
+// and the endpoint class name.
+type ctxKey int
+
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyEndpoint
+)
+
+// WithRequestID returns a context carrying the request id the engine
+// should record the work under. The HTTP layer calls this with the
+// accepted-or-generated X-Request-ID; direct API callers may use it to
+// correlate their calls in /debug/requests.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKeyRequestID, id)
+}
+
+// RequestIDFrom extracts the request id, "" when absent.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKeyRequestID).(string)
+	return id
+}
+
+func withEndpoint(ctx context.Context, endpoint string) context.Context {
+	return context.WithValue(ctx, ctxKeyEndpoint, endpoint)
+}
+
+func endpointFrom(ctx context.Context, fallback string) string {
+	if ep, _ := ctx.Value(ctxKeyEndpoint).(string); ep != "" {
+		return ep
+	}
+	return fallback
+}
+
+// beginReq opens a flight-recorder entry for the request on ctx,
+// reusing the caller's latency timestamp so the hot path reads the
+// clock once. Nil-safe end to end: with the recorder disabled it
+// returns a nil handle and every downstream use is a no-op.
+func (e *Engine) beginReq(ctx context.Context, fallbackEndpoint string, start time.Time) *obs.Req {
+	if e.rec == nil {
+		return nil
+	}
+	return e.rec.BeginAt(RequestIDFrom(ctx), endpointFrom(ctx, fallbackEndpoint), start)
+}
+
+// sloAccounting classifies an outcome for the SLO: client errors spend
+// no error budget (accounted=false); cancellations are charged to the
+// server — from the user's seat a deadline miss is an SLO miss.
+func sloAccounting(err error) (accounted, failed bool) {
+	if err == nil {
+		return true, false
+	}
+	if errors.Is(err, ErrBadRequest) {
+		return false, false
+	}
+	return true, true
+}
+
+// errMsg renders err for a recorder record ("" for nil).
+func errMsg(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
 // Solve validates, dispatches and executes one request through the
 // worker pool, consulting the result cache first and the compiled-model
 // cache second. The returned Response is shared with the cache — treat
@@ -391,14 +588,29 @@ func (e *Engine) Solve(ctx context.Context, req *Request) (*Response, error) {
 	}
 	defer e.wg.Done()
 	e.met.requests.Add(1)
-	resp, err := e.solve(ctx, req)
+	begin := time.Now()
+	rq := e.beginReq(ctx, "solve", begin)
+	resp, err := e.solve(ctx, rq, req)
+	durNs := time.Since(begin).Nanoseconds()
 	if err != nil {
 		e.met.errors.Add(1)
 	}
+	if accounted, failed := sloAccounting(err); accounted {
+		e.sloSolve.Observe(durNs, failed)
+	}
+	rq.Finish(durNs, errMsg(err))
 	return resp, err
 }
 
-func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err error) {
+// Request outcomes recorded for /debug and the request log.
+const (
+	outcomeResultHit = "result_hit"
+	outcomeCoalesced = "coalesced"
+	outcomeSolved    = "solved"
+	outcomeError     = "error"
+)
+
+func (e *Engine) solve(ctx context.Context, rq *obs.Req, req *Request) (resp *Response, err error) {
 	// Core signals violated preconditions it cannot express as errors by
 	// panicking (e.g. NewSchedule on an out-of-range epsilon). A panic
 	// must fail the one request, never the process — /batch executes
@@ -410,10 +622,12 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 		}
 	}()
 
+	rq.SetPhase(obs.PhaseValidate)
 	if _, ok := algorithms[req.Algo]; !ok {
 		return nil, fmt.Errorf("%w: unknown algorithm %q (known: %v)", ErrBadRequest, req.Algo, Algorithms())
 	}
 	e.met.countAlgo(req.Algo)
+	rq.SetAlgo(req.Algo)
 	if req.Epsilon < 0 || req.Epsilon >= 1 {
 		return nil, fmt.Errorf("%w: epsilon %g outside [0,1) (0 = default 0.25)", ErrBadRequest, req.Epsilon)
 	}
@@ -428,10 +642,12 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 		maxNodes = e.cfg.MaxExactNodes
 	}
 
+	rq.SetPhase(obs.PhaseCacheCheck)
 	kOpts, kNodes := keyOptions(req.Algo, opts, maxNodes)
 	key := resultKey(hash, req.Algo, kOpts, kNodes)
 	if resp, ok := e.results.get(key); ok {
 		e.met.resultHits.Add(1)
+		rq.SetOutcome(outcomeResultHit)
 		return resp, nil
 	}
 	e.met.resultMisses.Add(1)
@@ -441,12 +657,22 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 	// by construction, since all N hand out one shared *Response (the
 	// same sharing the result cache already implies). Errors are shared
 	// with the concurrent followers but never cached: the next arrival
-	// re-executes.
-	resp, coalesced, err := e.solveFlight.do(ctx, key, func() (*Response, error) {
-		return e.execute(ctx, req, hash, key, materialize, opts, maxNodes)
+	// re-executes. The leader registers its request id as the flight
+	// owner so followers can link their records to the trace that did
+	// the work.
+	rq.SetPhase(obs.PhaseFlightWait)
+	resp, coalesced, leader, err := e.solveFlight.do(ctx, key, rq.ID(), func() (*Response, error) {
+		return e.execute(ctx, rq, req, hash, key, materialize, opts, maxNodes)
 	})
 	if coalesced {
 		e.met.solvesCoalesced.Add(1)
+		rq.SetOutcome(outcomeCoalesced)
+		rq.Link(leader)
+		e.rec.Event("coalesce", rq.ID(), "leader="+leader)
+	} else if err == nil {
+		rq.SetOutcome(outcomeSolved)
+	} else {
+		rq.SetOutcome(outcomeError)
 	}
 	return resp, err
 }
@@ -454,8 +680,11 @@ func (e *Engine) solve(ctx context.Context, req *Request) (resp *Response, err e
 // execute is the solve-flight leader body: worker slot, compiled model,
 // solver run, feasibility gate, memoization. Followers of the flight
 // never enter here — a coalesced request holds no worker slot and
-// touches no cache.
-func (e *Engine) execute(ctx context.Context, req *Request, hash, key string, materialize func() (*instance.Problem, error), opts core.Options, maxNodes int64) (resp *Response, err error) {
+// touches no cache. rq is the leader's own recorder handle: its span
+// tree (when sampling is on) receives the queue/compile/solve/verify
+// timeline, with the solver's phase-level spans nested under "solve"
+// via core.Options.Telemetry.
+func (e *Engine) execute(ctx context.Context, rq *obs.Req, req *Request, hash, key string, materialize func() (*instance.Problem, error), opts core.Options, maxNodes int64) (resp *Response, err error) {
 	// The solve's panic guard must sit inside the flight: a panic that
 	// escaped fn would strand the flight's followers, and the leader's
 	// followers deserve the same converted error the leader returns.
@@ -473,25 +702,39 @@ func (e *Engine) execute(ctx context.Context, req *Request, hash, key string, ma
 		return resp, nil
 	}
 
+	tel := rq.Trace() // nil unless sampling is enabled — every use below is nil-safe
+
 	// Bounded worker pool: block for a slot, honoring cancellation.
+	rq.SetPhase(obs.PhaseQueued)
+	qs := tel.Begin("queued")
 	select {
 	case e.sem <- struct{}{}:
+		tel.End(qs)
 	case <-ctx.Done():
+		tel.End(qs)
+		e.rec.Event("reject", rq.ID(), "context expired waiting for a worker slot")
 		return nil, ctx.Err()
 	}
 	defer func() { <-e.sem }()
 	e.met.inFlight.Add(1)
 	defer e.met.inFlight.Add(-1)
 
-	c, err := e.compiledFor(ctx, hash, materialize)
+	rq.SetPhase(obs.PhaseCompile)
+	cs := tel.Begin("compiled_model") // cache hit, coalesced wait, or a real compile
+	c, err := e.compiledFor(ctx, rq, hash, materialize)
+	tel.End(cs)
 	if err != nil {
 		return nil, err
 	}
 
+	rq.SetPhase(obs.PhaseSolve)
 	run := algorithms[req.Algo] // validated by solve before the flight
+	opts.Telemetry = tel        // the solver's phase spans nest under this request's tree
+	ss := tel.Begin("solve")
 	begin := time.Now()
 	res, dres, err := run(c, opts, maxNodes)
 	solveNs := time.Since(begin).Nanoseconds()
+	tel.End(ss)
 	e.met.solveNanos.Add(solveNs)
 	e.met.solveLatency.Observe(solveNs)
 	if err != nil {
@@ -506,9 +749,14 @@ func (e *Engine) execute(ctx context.Context, req *Request, hash, key string, ma
 	}
 	// Safety gate: never serve an infeasible selection. A failure here is
 	// a solver bug, not a client error.
-	if err := verify.Solution(c.Problem(), res.Selected); err != nil {
+	rq.SetPhase(obs.PhaseVerify)
+	vs := tel.Begin("verify")
+	err = verify.Solution(c.Problem(), res.Selected)
+	tel.End(vs)
+	if err != nil {
 		return nil, fmt.Errorf("service: solver emitted infeasible solution: %w", err)
 	}
+	rq.SetPhase(obs.PhaseRespond)
 
 	resp = &Response{
 		Algorithm:      res.Name,
@@ -544,13 +792,13 @@ func (e *Engine) execute(ctx context.Context, req *Request, hash, key string, ma
 // compile followers keep theirs while waiting (they run a solver the
 // moment the model lands), so the flight adds no slot pressure beyond
 // the requests themselves.
-func (e *Engine) compiledFor(ctx context.Context, hash string, materialize func() (*instance.Problem, error)) (*core.Compiled, error) {
+func (e *Engine) compiledFor(ctx context.Context, rq *obs.Req, hash string, materialize func() (*instance.Problem, error)) (*core.Compiled, error) {
 	if c, ok := e.compiled.get(hash); ok {
 		e.met.compiledHits.Add(1)
 		return c, nil
 	}
 	e.met.compiledMisses.Add(1)
-	c, coalesced, err := e.compileFlight.do(ctx, hash, func() (*core.Compiled, error) {
+	c, coalesced, leader, err := e.compileFlight.do(ctx, hash, rq.ID(), func() (*core.Compiled, error) {
 		if gate := e.compileGate; gate != nil {
 			gate(hash)
 		}
@@ -571,6 +819,7 @@ func (e *Engine) compiledFor(ctx context.Context, hash string, materialize func(
 	})
 	if coalesced {
 		e.met.compilesCoalesced.Add(1)
+		e.rec.Event("coalesce_compile", rq.ID(), "leader="+leader)
 	}
 	return c, err
 }

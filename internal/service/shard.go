@@ -74,6 +74,16 @@ func (c *shardedCache[V]) shardFor(key string) *lru[V] {
 
 func (c *shardedCache[V]) get(key string) (V, bool) { return c.shardFor(key).get(key) }
 
+// setOnEvict installs fn as every shard's eviction observer (the engine
+// routes evictions into the flight recorder's event log). Call before
+// the cache is shared; fn runs under the evicting shard's lock and must
+// not call back into the cache.
+func (c *shardedCache[V]) setOnEvict(fn func(key string)) {
+	for _, s := range c.shards {
+		s.onEvict = fn
+	}
+}
+
 func (c *shardedCache[V]) add(key string, val V) { c.shardFor(key).add(key, val) }
 
 // len sums the shard occupancies. Concurrent mutations may skew the
