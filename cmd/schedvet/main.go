@@ -1,0 +1,36 @@
+// Command schedvet is the schedlint multichecker: five analyzers that
+// machine-check this repo's determinism and concurrency contracts.
+//
+// Run it directly over packages:
+//
+//	go run ./cmd/schedvet ./...          # human-readable, exit 2 on findings
+//	go run ./cmd/schedvet -json ./...    # machine-readable findings on stdout
+//
+// or as a vet tool, which includes in-package test files and caches
+// results under the build cache (the CI leg):
+//
+//	go build -o /tmp/schedvet ./cmd/schedvet
+//	go vet -vettool=/tmp/schedvet ./...
+//
+// See the "Static analysis" section of DESIGN.md for each analyzer's
+// contract and escape hatch.
+package main
+
+import (
+	"treesched/internal/lint/detrange"
+	"treesched/internal/lint/driver"
+	"treesched/internal/lint/niltrace"
+	"treesched/internal/lint/respfreeze"
+	"treesched/internal/lint/sharddiscipline"
+	"treesched/internal/lint/wallclock"
+)
+
+func main() {
+	driver.Main(
+		detrange.Analyzer,
+		wallclock.Analyzer,
+		sharddiscipline.Analyzer,
+		niltrace.Analyzer,
+		respfreeze.Analyzer,
+	)
+}

@@ -155,6 +155,7 @@ func assembleDistributed(name string, m *model.Model, rule lp.Rule, sched Schedu
 			continue
 		}
 		duals.Alpha[u] = ns.alpha
+		//schedlint:ordered keyed writes: each edge e is first-seen exactly once and later copies are verified equal, so the merged β is order-independent
 		for e, v := range ns.beta {
 			if prev, ok := betaSeen[e]; ok {
 				if math.Abs(prev-v) > 1e-6*(1+math.Abs(prev)) {

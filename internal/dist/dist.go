@@ -204,7 +204,7 @@ type coordinator struct {
 func (c *coordinator) observe(rl *obs.RoundLog) {
 	c.rl = rl
 	if rl != nil {
-		c.lastMark = time.Now()
+		c.lastMark = time.Now() //schedlint:statsonly anchors RoundSample.StepNs; never read by solver state
 	}
 }
 
@@ -280,7 +280,7 @@ func (c *coordinator) finishRound() {
 // sample appends one round sample. Caller holds c.mu and has checked
 // c.rl != nil, so the unobserved path never reads the clock.
 func (c *coordinator) sample(kind string, msgs, entries int64) {
-	now := time.Now()
+	now := time.Now() //schedlint:statsonly feeds RoundSample.StepNs telemetry only; rounds/messages are clock-free
 	c.rl.Add(obs.RoundSample{
 		Kind:     kind,
 		Messages: msgs,

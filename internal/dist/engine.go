@@ -227,14 +227,14 @@ type poolEngine struct {
 func (e *poolEngine) observe(rl *obs.RoundLog) {
 	e.rl = rl
 	if rl != nil {
-		e.lastMark = time.Now()
+		e.lastMark = time.Now() //schedlint:statsonly anchors RoundSample.StepNs; never read by solver state
 	}
 }
 
 // sample appends one round sample. Called only from a barrier leader
 // action with e.rl already checked non-nil.
 func (e *poolEngine) sample(kind string, msgs, entries int64) {
-	now := time.Now()
+	now := time.Now() //schedlint:statsonly feeds RoundSample.StepNs telemetry only; rounds/messages are clock-free
 	e.rl.Add(obs.RoundSample{
 		Kind:     kind,
 		Messages: msgs,

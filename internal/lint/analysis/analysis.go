@@ -1,0 +1,55 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that the schedlint
+// analyzers program against.
+//
+// The container this repo builds in has no module proxy, so the usual
+// x/tools dependency cannot be fetched; rather than hand-rolling five
+// ad-hoc AST walkers, the analyzers are written exactly as go/analysis
+// analyzers (an Analyzer with a Run(*Pass) hook reporting Diagnostics)
+// against this package, and the drivers — cmd/schedvet standalone mode,
+// the `go vet -vettool` unitchecker protocol, and the analysistest
+// harness — construct Passes the same way the real drivers do. If the
+// proxy ever becomes reachable, swapping the import path back to
+// x/tools is a mechanical change; no analyzer logic depends on anything
+// beyond this file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name (used in diagnostics,
+// JSON output and escape-hatch documentation), a Doc string whose first
+// line is the short summary, and the Run hook.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) (any, error)
+}
+
+// Pass carries one analyzed package to an Analyzer's Run: the parsed
+// files, the type-checked package and its use/def/selection maps, and
+// the Report sink. A Pass is valid only for the duration of Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

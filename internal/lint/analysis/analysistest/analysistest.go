@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures
+// themselves, in the style of golang.org/x/tools analysistest (which
+// this repo cannot vendor):
+//
+//	for _, v := range m { // want `range over map m`
+//	}
+//
+// A `// want` comment holds one or more quoted regexps (double- or
+// back-quoted); each must match exactly one diagnostic reported on the
+// comment's line, and every diagnostic must be matched by some want.
+// The variant `// want+N` expects the diagnostics N lines below the
+// comment — needed when the expected diagnostic sits on a line whose
+// comment slot is taken by a //schedlint: directive (a line comment
+// runs to end of line, so directive and want cannot share one).
+//
+// Fixture packages live under each analyzer's testdata/src/ directory.
+// They are real packages of this module — `go list` ignores testdata
+// during ./... expansion, so builds and vet never see them, but they
+// may import real module packages (par, obs, service), which keeps the
+// fixtures type-identical to the code the analyzers police.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/loader"
+)
+
+// Run loads the fixture packages named by patterns (relative to dir,
+// conventionally "testdata") and checks a's diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := loader.LoadPatterns(dir, patterns)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		runPkg(t, a, pkg)
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+func runPkg(t *testing.T, a *analysis.Analyzer, pkg *loader.Package) {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: running %s: %v", pkg.ImportPath, a.Name, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		ws := wants[lineKey{p.Filename, p.Line}]
+		matched := false
+		for i := range ws {
+			if !ws[i].used && ws[i].re.MatchString(d.Message) {
+				ws[i].used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// wantRx matches `// want` and `// want+N` comment heads.
+var wantRx = regexp.MustCompile(`^//\s*want(\+\d+)?\s+(.*)$`)
+
+// collectWants indexes every want expectation of the package by the
+// file and line its diagnostics are expected on.
+func collectWants(t *testing.T, pkg *loader.Package) map[lineKey][]want {
+	t.Helper()
+	wants := map[lineKey][]want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				line := p.Line
+				if m[1] != "" {
+					off, _ := strconv.Atoi(m[1][1:])
+					line += off
+				}
+				k := lineKey{p.Filename, line}
+				for _, pat := range quotedStrings(t, p.String(), m[2]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					wants[k] = append(wants[k], want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// quotedStrings parses the sequence of Go string literals making up a
+// want comment's body.
+func quotedStrings(t *testing.T, at, s string) []string {
+	t.Helper()
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: want comment needs quoted regexps, got %q: %v", at, s, err)
+		}
+		u, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: unquoting %s: %v", at, q, err)
+		}
+		out = append(out, u)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", at)
+	}
+	return out
+}

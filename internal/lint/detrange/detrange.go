@@ -1,0 +1,250 @@
+// Package detrange flags `range` over maps in determinism-critical
+// packages.
+//
+// Go map iteration order is deliberately randomized, so any map range
+// whose body's effect depends on visit order is a nondeterminism bug —
+// exactly the class that once produced schedule byte-diffs only at the
+// equivalence-test stage. The analyzer proves a small set of loop
+// shapes order-insensitive and demands an audited rationale
+// (//schedlint:ordered <reason>) for everything else:
+//
+//   - key collection feeding a sort: the body is a single
+//     `xs = append(xs, ...)` and the enclosing function sorts xs;
+//   - commutative accumulation: every statement is an integer ++/--,
+//     += / -= / |= / &= / ^=, an if-guarded max/min fold, an assignment
+//     of a constant, or delete(m, k) keyed by the ranged key (keys are
+//     distinct per iteration, so keyed deletes into any map commute);
+//   - statements composed of the above under if/blocks (early exits —
+//     break/return — are order-sensitive and disqualify the loop).
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/schedlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags order-sensitive map iteration in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := schedlint.ParseDirectives(pass)
+	if !schedlint.InCriticalScope(pass, dirs) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		schedlint.WalkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs, schedlint.EnclosingFunc(stack)) {
+				return true
+			}
+			if dirs.Allow(pass, rs.Pos(), "ordered") {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "range over map %s: iteration order is randomized; sort keys first, use an order-insensitive body, or annotate //schedlint:ordered <reason>", types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// orderInsensitive reports whether the loop provably computes the same
+// result under any iteration order.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt, enclosing ast.Node) bool {
+	if collectThenSort(pass, rs, enclosing) {
+		return true
+	}
+	for _, stmt := range rs.Body.List {
+		if !commutativeStmt(pass, rs, stmt) {
+			return false
+		}
+	}
+	return true
+}
+
+// collectThenSort matches `for k := range m { xs = append(xs, ...) }`
+// with a sort of xs somewhere in the enclosing function.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, enclosing ast.Node) bool {
+	if len(rs.Body.List) != 1 || enclosing == nil {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Tok != token.ASSIGN {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) < 2 {
+		return false
+	}
+	if arg0, ok := call.Args[0].(*ast.Ident); !ok || objOf(pass, arg0) != objOf(pass, dst) {
+		return false
+	}
+	// Look for sort.X(..xs..) / slices.SortX(xs, ...) in the function.
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := schedlint.PkgFunc(pass.TypesInfo, c)
+		if !ok {
+			return true
+		}
+		isSort := (pkg == "sort" || pkg == "slices") &&
+			(len(name) >= 4 && name[:4] == "Sort" || pkg == "sort" && (name == "Strings" || name == "Ints" || name == "Float64s" || name == "Slice" || name == "SliceStable" || name == "Stable"))
+		if !isSort {
+			return true
+		}
+		for _, a := range c.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && objOf(pass, id) == objOf(pass, dst) {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// commutativeStmt reports whether stmt's effect is independent of the
+// order it runs in relative to other iterations.
+func commutativeStmt(pass *analysis.Pass, rs *ast.RangeStmt, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return isIntegral(pass, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative and associative on fixed-width integers (float
+			// addition is not: rounding depends on order).
+			return isIntegral(pass, s.Lhs[0])
+		case token.ASSIGN:
+			// Writing a constant is idempotent across iterations; a
+			// per-key constant write (set[k] = struct{}{}) likewise.
+			tv, ok := pass.TypesInfo.Types[s.Rhs[0]]
+			return ok && (tv.Value != nil || isEmptyCompositeLit(s.Rhs[0]))
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(m, k) keyed by the ranged key: the key is distinct per
+		// iteration, so deletes into ANY map commute — including the
+		// drain pattern `for id := range pending { delete(jobs, id) }`.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "delete") || len(call.Args) != 2 {
+			return false
+		}
+		return rs.Key != nil && types.ExprString(call.Args[1]) == types.ExprString(rs.Key)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			return false
+		}
+		if foldAssign(pass, s) {
+			return true
+		}
+		for _, inner := range s.Body.List {
+			if !commutativeStmt(pass, rs, inner) {
+				return false
+			}
+		}
+		if s.Else != nil {
+			block, ok := s.Else.(*ast.BlockStmt)
+			if !ok {
+				return false
+			}
+			for _, inner := range block.List {
+				if !commutativeStmt(pass, rs, inner) {
+					return false
+				}
+			}
+		}
+		return true
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			if !commutativeStmt(pass, rs, inner) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// foldAssign matches the max/min fold `if a < b { a = b }` (any of
+// < > <= >=, operands either order): the final value is the extremum,
+// independent of iteration order.
+func foldAssign(pass *analysis.Pass, s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := types.ExprString(asg.Lhs[0]), types.ExprString(asg.Rhs[0])
+	a, b := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (lhs == a && rhs == b) || (lhs == b && rhs == a)
+}
+
+func isEmptyCompositeLit(e ast.Expr) bool {
+	cl, ok := ast.Unparen(e).(*ast.CompositeLit)
+	return ok && len(cl.Elts) == 0
+}
+
+func isIntegral(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint/analysis/analysistest"
+	"treesched/internal/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "./src/a", "./src/b")
+}

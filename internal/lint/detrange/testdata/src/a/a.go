@@ -1,0 +1,99 @@
+// Package a is the detrange fixture: map ranges whose bodies are
+// order-sensitive (flagged), provably order-insensitive (allowed), and
+// annotated (allowed, audited).
+package a
+
+import "sort"
+
+//schedlint:critical
+
+// Appending map values with no later sort depends on visit order.
+func flagAppendNoSort(m map[int]int) []int {
+	out := []int{}
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		out = append(out, v)
+	}
+	return out
+}
+
+// String concatenation is order-sensitive (not an integer accumulator).
+func flagConcat(m map[string]string) string {
+	s := ""
+	for _, v := range m { // want `range over map m: iteration order is randomized`
+		s += v
+	}
+	return s
+}
+
+// Early exit makes the observed element order-dependent.
+func flagEarlyExit(m map[int]int) int {
+	for k, v := range m { // want `range over map m: iteration order is randomized`
+		if v > 10 {
+			return k
+		}
+	}
+	return -1
+}
+
+// Collect-then-sort: the canonical deterministic iteration idiom.
+func okCollectSort(m map[int]int) []int {
+	keys := []int{}
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Pure counting commutes.
+func okCount(m map[int]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Integer accumulation and a max fold commute.
+func okAccumulate(m map[int]int) (int, int) {
+	sum, best := 0, 0
+	for _, v := range m {
+		sum += v
+		if best < v {
+			best = v
+		}
+	}
+	return sum, best
+}
+
+// Keyed deletes into another map commute: each key occurs once.
+func okDrain(pending map[int]struct{}, jobs map[int]string) {
+	for id := range pending {
+		delete(jobs, id)
+	}
+}
+
+// Constant per-key writes commute (set building).
+func okSet(m map[int]int) map[int]struct{} {
+	set := make(map[int]struct{})
+	for k := range m {
+		set[k] = struct{}{}
+	}
+	return set
+}
+
+// The audited escape hatch: order-sensitivity argued away in review.
+func okAnnotated(m map[int]int, dst map[int]int) {
+	//schedlint:ordered keyed writes land in distinct slots; no cross-key state
+	for k, v := range m {
+		dst[k] = v + 1
+	}
+}
+
+// A directive with no rationale still suppresses but is itself flagged.
+func okBareDirective(m map[int]int, dst map[int]int) {
+	// want+1 `//schedlint:ordered needs a one-line rationale`
+	for k, v := range m { //schedlint:ordered
+		dst[k] = v + 1
+	}
+}

@@ -1,0 +1,12 @@
+// Package b has no //schedlint:critical opt-in and is not on the
+// critical-path roster, so even an order-sensitive map range is out of
+// scope: detrange polices determinism-critical packages only.
+package b
+
+func UnorderedJoin(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,294 @@
+// Package driver runs schedlint analyzers in the two ways CI and
+// developers invoke them:
+//
+//   - standalone: `schedvet [-json] [packages]` loads packages via
+//     `go list` and prints findings (humans and scripts);
+//   - vettool: `go vet -vettool=$(which schedvet) ./...` speaks the
+//     cmd/go unitchecker protocol — the -flags/-V=full handshake
+//     followed by one vet.cfg invocation per package — so the suite
+//     runs under the build cache with test files included, exactly
+//     like a stock vet analyzer.
+//
+// The protocol implementation mirrors what x/tools' unitchecker does
+// (that dependency is unavailable offline): respond to -flags with the
+// tool's flag schema, respond to -V=full with a content hash of the
+// tool binary (cmd/go keys its vet result cache on it), and treat a
+// single *.cfg argument as a unitchecker config.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/loader"
+)
+
+// Finding is the JSON shape of one diagnostic in -json mode.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Package  string `json:"package"`
+	Pos      string `json:"pos"` // file:line:col
+	Message  string `json:"message"`
+}
+
+// Exit codes, matching the stock vet convention: 1 is a driver or
+// typecheck failure, 2 means diagnostics were reported.
+const (
+	exitOK    = 0
+	exitError = 1
+	exitDiags = 2
+)
+
+// Main is the schedvet entry point. It never returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(run(analyzers))
+}
+
+func run(analyzers []*analysis.Analyzer) int {
+	// The cmd/go handshake arrives before flag parsing: -V=full must
+	// print a line whose final field is a buildID cmd/go can cache on,
+	// and -flags must describe the tool's flags as JSON.
+	for _, arg := range os.Args[1:] {
+		switch arg {
+		case "-V=full", "--V=full":
+			printVersion()
+			return exitOK
+		case "-flags", "--flags":
+			// No analyzer flags are exposed to cmd/go: -json and -list are
+			// for direct invocations only.
+			fmt.Println("[]")
+			return exitOK
+		}
+	}
+
+	fs := flag.NewFlagSet("schedvet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (exit 0 even with findings)")
+	list := fs.Bool("list", false, "list the registered analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: schedvet [-json] [-list] [package ...]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(command -v schedvet) ./...\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitError
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return exitOK
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0], analyzers)
+	}
+	return standalone(args, *jsonOut, analyzers)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// printVersion emits the -V=full line. cmd/go requires the form
+// "<name> version <v> ... buildID=<id>" and caches vet results under
+// the id, so hashing the binary's own contents makes rebuilt tools
+// invalidate stale results automatically.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		fmt.Printf("%s version devel schedlint\n", name)
+		return
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel schedlint buildID=%02x\n", name, string(h[:12]))
+}
+
+// vetConfig is the unitchecker config cmd/go writes for each package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs one vet.cfg unit: typecheck from the supplied export
+// data, run every analyzer, print findings to stderr.
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: parsing %s: %v\n", cfgFile, err)
+		return exitError
+	}
+	// Facts output: schedlint analyzers export none, but cmd/go caches
+	// the (empty) file, so always produce it — including for VetxOnly
+	// dependency units, which need nothing else.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitOK
+	}
+
+	fset := token.NewFileSet()
+	files, err := loader.ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	imp := loader.NewImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	tpkg, info, err := loader.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitOK
+		}
+		fmt.Fprintf(os.Stderr, "schedvet: %s: %v\n", cfg.ImportPath, err)
+		return exitError
+	}
+	pkg := &loader.Package{
+		ImportPath: cfg.ImportPath, Dir: cfg.Dir,
+		Fset: fset, Files: files, Types: tpkg, Info: info,
+	}
+	findings, err := Analyze([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	if len(findings) == 0 {
+		return exitOK
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	return exitDiags
+}
+
+// standalone loads patterns through go list and reports findings.
+func standalone(patterns []string, jsonOut bool, analyzers []*analysis.Analyzer) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	pkgs, err := loader.LoadPatterns(wd, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	findings, err := Analyze(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+		return exitError
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "schedvet: %v\n", err)
+			return exitError
+		}
+		return exitOK
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return exitDiags
+	}
+	return exitOK
+}
+
+// Analyze runs every analyzer over every package and returns findings
+// ordered by (file, line, column, analyzer).
+func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Package:  pkg.ImportPath,
+					Pos:      pkg.Fset.Position(d.Pos).String(),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].Pos != findings[j].Pos {
+			return posLess(findings[i].Pos, findings[j].Pos)
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// posLess orders "file:line:col" strings by file then numeric position.
+func posLess(a, b string) bool {
+	fa, la, ca := splitPos(a)
+	fb, lb, cb := splitPos(b)
+	if fa != fb {
+		return fa < fb
+	}
+	if la != lb {
+		return la < lb
+	}
+	return ca < cb
+}
+
+func splitPos(p string) (file string, line, col int) {
+	// Rightmost two colon-separated fields are line and column.
+	i := strings.LastIndexByte(p, ':')
+	if i < 0 {
+		return p, 0, 0
+	}
+	fmt.Sscanf(p[i+1:], "%d", &col)
+	j := strings.LastIndexByte(p[:i], ':')
+	if j < 0 {
+		return p[:i], 0, 0
+	}
+	fmt.Sscanf(p[j+1:i], "%d", &line)
+	return p[:j], line, col
+}

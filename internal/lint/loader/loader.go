@@ -1,0 +1,236 @@
+// Package loader turns Go packages on disk into type-checked
+// analysis-ready units without golang.org/x/tools: package discovery
+// and export data come from `go list -export`, and type checking uses
+// the standard library's gc importer fed those export files. Both
+// schedvet drivers (standalone patterns and the `go vet -vettool`
+// unitchecker protocol) and the analysistest harness load through this
+// package, so every path type-checks fixtures and real code the same
+// way.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes. DepOnly marks packages present only as dependencies of the
+// named patterns.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` on patterns in dir and
+// decodes the JSON stream. -e keeps going on broken packages so the
+// caller can surface a precise error.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Standard,Export,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportsFor resolves importPaths (and their transitive dependencies)
+// to export data files, for type-checking sources that import them.
+// dir must lie inside the module.
+func ExportsFor(dir string, importPaths []string) (map[string]string, error) {
+	if len(importPaths) == 0 {
+		return map[string]string{}, nil
+	}
+	sort.Strings(importPaths)
+	pkgs, err := goList(dir, importPaths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter builds a types.Importer that reads gc export data from
+// the files in exports (canonical import path -> export file), after
+// translating source-level paths through importMap (nil when source
+// paths are already canonical, as in module mode without vendoring).
+func NewImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &mappedImporter{
+		base:      importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom),
+		importMap: importMap,
+	}
+}
+
+type mappedImporter struct {
+	base      types.ImporterFrom
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mappedImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if canon, ok := m.importMap[path]; ok {
+		path = canon
+	}
+	return m.base.ImportFrom(path, dir, mode)
+}
+
+// ParseFiles parses filenames (with comments — the schedlint escape
+// hatches live there) into fset.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck type-checks files as package importPath, resolving imports
+// through imp. All type errors are collected and returned as one error.
+func TypeCheck(fset *token.FileSet, importPath string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return pkg, info, errors.Join(typeErrs...)
+	}
+	if err != nil {
+		return pkg, info, err
+	}
+	return pkg, info, nil
+}
+
+// LoadPatterns loads the packages named by patterns (relative to dir;
+// "./..." by default) with full type information. Dependencies are
+// imported from export data, so only the named packages pay source
+// parsing and type checking.
+func LoadPatterns(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports, nil)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		// go list emits file names relative to the package directory.
+		names := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			if filepath.IsAbs(f) {
+				names[i] = f
+			} else {
+				names[i] = filepath.Join(p.Dir, f)
+			}
+		}
+		files, err := ParseFiles(fset, names)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", p.ImportPath, err)
+		}
+		tpkg, info, err := TypeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("%s: type checking: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,241 @@
+// Package niltrace pins the zero-overhead telemetry contract
+// structurally: obs handle types (Trace, Recorder, Req, RoundLog) flow
+// nil through instrumented code by design, so their methods must be
+// nil-safe and their values must never be dereferenced unguarded.
+//
+// Inside the obs package (any package named "obs" declaring these
+// types) every pointer-receiver method must either open with a
+// `if recv == nil` guard that returns, or never use its receiver. A
+// method whose callers genuinely guarantee non-nil receivers is
+// annotated //schedlint:nonnil <reason> — but the default posture is a
+// guard, because one unguarded method turns every instrumented call
+// site into a latent panic that only fires with telemetry disabled.
+//
+// Outside obs, dereferencing (*t, value copies) a *obs.Trace /
+// *obs.Recorder / *obs.Req / *obs.RoundLog is flagged unless an
+// enclosing `if x != nil` dominates it or the site carries
+// //schedlint:nonnil <reason>. Method calls need no guard — that is
+// the point of the contract.
+package niltrace
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/schedlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "niltrace",
+	Doc:  "enforces nil-safety of obs telemetry handles (methods guard nil; call sites never deref)",
+	Run:  run,
+}
+
+// handleTypes are the obs types whose pointers flow nil by contract.
+var handleTypes = map[string]bool{
+	"Trace": true, "Recorder": true, "Req": true, "RoundLog": true,
+}
+
+// isHandlePtr reports whether t is *obs.Trace (etc.) for any package
+// named obs.
+func isHandlePtr(t types.Type) (string, bool) {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Name() != "obs" || !handleTypes[obj.Name()] {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := schedlint.ParseDirectives(pass)
+	if pass.Pkg.Name() == "obs" {
+		checkMethods(pass, dirs)
+		return nil, nil
+	}
+	checkCallSites(pass, dirs)
+	return nil, nil
+}
+
+// checkMethods enforces the method side of the contract in obs itself.
+func checkMethods(pass *analysis.Pass, dirs *schedlint.Directives) {
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			recvType := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+			typeName, ok := isHandlePtr(recvType.Type)
+			if !ok {
+				continue
+			}
+			recv := receiverObj(pass, fd)
+			if recv == nil || !receiverUsed(pass, fd, recv) {
+				continue // no receiver use: vacuously nil-safe
+			}
+			if opensWithNilGuard(fd.Body, recv.Name()) {
+				continue
+			}
+			if dirs.Allow(pass, fd.Pos(), "nonnil") {
+				continue
+			}
+			pass.Reportf(fd.Pos(), "(*%s).%s is not nil-safe: obs handles flow nil by contract; open with `if %s == nil` or annotate //schedlint:nonnil <reason>", typeName, fd.Name.Name, recv.Name())
+		}
+	}
+}
+
+func receiverObj(pass *analysis.Pass, fd *ast.FuncDecl) *types.Var {
+	names := fd.Recv.List[0].Names
+	if len(names) == 0 || names[0].Name == "_" {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// receiverUsed reports whether the method body dereferences its
+// receiver. Using the receiver purely as the target of another method
+// call (r.completed(...)) is not a dereference: the contract makes
+// every handle method nil-safe, so nil-safety composes through calls.
+func receiverUsed(pass *analysis.Pass, fd *ast.FuncDecl, recv *types.Var) bool {
+	used := false
+	schedlint.WalkStack(fd.Body, func(stack []ast.Node, n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[id] != recv || used {
+			return !used
+		}
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == id {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == sel {
+					if _, isMethod := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isMethod {
+						return true // method call on the receiver: nil-safe by contract
+					}
+				}
+			}
+		}
+		used = true
+		return false
+	})
+	return used
+}
+
+// opensWithNilGuard matches a first statement of the form
+// `if recv == nil { ... return }` or `if recv == nil || <more> { ... return }`.
+func opensWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return true // empty body
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil || !condChecksNil(ifs.Cond, recvName, token.EQL) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// condChecksNil reports whether cond is `name <op> nil` or an `||`/`&&`
+// chain whose leftmost comparison is.
+func condChecksNil(cond ast.Expr, name string, op token.Token) bool {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if c.Op == token.LOR || c.Op == token.LAND {
+			return condChecksNil(c.X, name, op) || condChecksNil(c.Y, name, op)
+		}
+		if c.Op != op {
+			return false
+		}
+		return (isIdentNamed(c.X, name) && isNil(c.Y)) || (isIdentNamed(c.Y, name) && isNil(c.X))
+	}
+	return false
+}
+
+func isIdentNamed(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isNil(e ast.Expr) bool { return isIdentNamed(e, "nil") }
+
+// checkCallSites flags unguarded dereferences of handle pointers
+// outside obs.
+func checkCallSites(pass *analysis.Pass, dirs *schedlint.Directives) {
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		schedlint.WalkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			star, ok := n.(*ast.StarExpr)
+			if !ok {
+				return true
+			}
+			// Skip type expressions (*obs.Trace in signatures).
+			if tv, ok := pass.TypesInfo.Types[star]; !ok || tv.IsType() {
+				return true
+			}
+			opTV, ok := pass.TypesInfo.Types[star.X]
+			if !ok {
+				return true
+			}
+			typeName, ok := isHandlePtr(opTV.Type)
+			if !ok {
+				return true
+			}
+			if guardedNonNil(stack, star.X) {
+				return true
+			}
+			if dirs.Allow(pass, star.Pos(), "nonnil") {
+				return true
+			}
+			pass.Reportf(star.Pos(), "dereference of possibly-nil *obs.%s: telemetry handles flow nil by contract; guard with `if %s != nil` or annotate //schedlint:nonnil <reason>", typeName, types.ExprString(star.X))
+			return true
+		})
+	}
+}
+
+// guardedNonNil reports whether an enclosing if's condition contains
+// `expr != nil` for the dereferenced expression.
+func guardedNonNil(stack []ast.Node, operand ast.Expr) bool {
+	want := types.ExprString(ast.Unparen(operand))
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		if condMentionsNotNil(ifs.Cond, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func condMentionsNotNil(cond ast.Expr, want string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ || found {
+			return !found
+		}
+		if (types.ExprString(ast.Unparen(b.X)) == want && isNil(b.Y)) ||
+			(types.ExprString(ast.Unparen(b.Y)) == want && isNil(b.X)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package niltrace_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint/analysis/analysistest"
+	"treesched/internal/lint/niltrace"
+)
+
+func TestNilTrace(t *testing.T) {
+	analysistest.Run(t, "testdata", niltrace.Analyzer, "./src/obs", "./src/calls")
+}

@@ -1,0 +1,36 @@
+// Package calls is the niltrace call-site fixture: it imports the real
+// treesched/internal/obs and exercises the deref-side contract.
+package calls
+
+import "treesched/internal/obs"
+
+// Copying through an unguarded handle pointer panics when telemetry is
+// off (the handle is nil by design, not by accident).
+func flagCopyTrace(t *obs.Trace) obs.Trace {
+	return *t // want `dereference of possibly-nil \*obs\.Trace`
+}
+
+func flagCopyRecorder(r *obs.Recorder) obs.Recorder {
+	return *r // want `dereference of possibly-nil \*obs\.Recorder`
+}
+
+// A dominating `!= nil` check makes the deref safe.
+func okGuarded(t *obs.Trace) int {
+	if t != nil {
+		v := *t
+		_ = v
+		return 1
+	}
+	return 0
+}
+
+// Method calls never need a guard — that is the whole contract.
+func okMethods(t *obs.Trace) {
+	s := t.Begin("phase")
+	t.End(s)
+}
+
+// The audited escape for call sites with external non-nil proof.
+func okAnnotated(t *obs.Trace) obs.Trace {
+	return *t //schedlint:nonnil caller constructs t unconditionally one frame up
+}

@@ -1,0 +1,45 @@
+// Package obs is the niltrace method-side fixture: a package named obs
+// declaring handle types is held to the nil-safe-method contract.
+package obs
+
+// Trace mirrors the real telemetry handle: nil means "telemetry off".
+type Trace struct{ n int }
+
+// Recorder mirrors the request recorder handle.
+type Recorder struct {
+	off bool
+	n   int
+}
+
+// An unguarded receiver read panics the moment telemetry is disabled.
+func (t *Trace) Bump() { t.n++ } // want `\(\*Trace\)\.Bump is not nil-safe`
+
+func (r *Recorder) Seq() int { return r.n } // want `\(\*Recorder\)\.Seq is not nil-safe`
+
+// The canonical guard: open with `if t == nil`.
+func (t *Trace) Count() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// A compound guard whose first clause checks nil still dominates.
+func (r *Recorder) Enabled() bool {
+	if r == nil || r.off {
+		return false
+	}
+	return true
+}
+
+// Using the receiver only to call other handle methods composes
+// nil-safety: the callee guards.
+func (t *Trace) Twice() int { return t.Count() + t.Count() }
+
+// No receiver use: vacuously nil-safe.
+func (t *Trace) Kind() string { return "trace" }
+
+// The audited escape for methods with a proven non-nil calling context.
+//
+//schedlint:nonnil only reachable from Count past its own nil guard
+func (t *Trace) raw() int { return t.n }

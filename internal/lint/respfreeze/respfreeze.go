@@ -1,0 +1,207 @@
+// Package respfreeze makes the serving tier's Response immutability
+// contract (PR 8) a compile-time property: a *service.Response that
+// has escaped its builder — entered the memoization cache, a
+// singleflight, or any shared structure — must never be written again,
+// because equal requests are served the same pointer and must marshal
+// byte-identically forever.
+//
+// The analyzer flags every write through a *service.Response access
+// path (resp.Field = v, resp.Selected[i] = x, *resp = ...) unless the
+// pointer provably originates in the current function: the variable is
+// declared there and every value it is ever assigned is a fresh
+// &Response{...} or new(Response). Writes through parameters, call
+// results, struct fields or cache reads are findings — exactly the
+// shapes through which a cached Response could be reached. The audited
+// escape is //schedlint:mutable <reason>, whose rationale must argue
+// the Response has not yet been shared.
+package respfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/schedlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "respfreeze",
+	Doc:  "forbids writes through *service.Response values not freshly built in the current function",
+	Run:  run,
+}
+
+// isResponsePtr reports whether t is *service.Response (any package
+// named "service", matching how fixtures and the real module both
+// resolve).
+func isResponsePtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "service" && obj.Name() == "Response"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := schedlint.ParseDirectives(pass)
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		schedlint.WalkStack(f, func(stack []ast.Node, n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					checkWrite(pass, dirs, stack, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, dirs, stack, s.X)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWrite reports lhs when it writes through a non-fresh Response
+// pointer.
+func checkWrite(pass *analysis.Pass, dirs *schedlint.Directives, stack []ast.Node, lhs ast.Expr) {
+	root := responseRoot(pass, lhs)
+	if root == nil {
+		return
+	}
+	if fresh(pass, stack, root) {
+		return
+	}
+	if dirs.Allow(pass, lhs.Pos(), "mutable") {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "write through *service.Response %s that was not built in this function: cached responses are shared and frozen; build a fresh Response or annotate //schedlint:mutable <reason>", types.ExprString(root))
+}
+
+// responseRoot walks the write path of lhs and returns the expression
+// of type *service.Response it goes through, or nil.
+func responseRoot(pass *analysis.Pass, lhs ast.Expr) ast.Expr {
+	e := ast.Unparen(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && isResponsePtr(tv.Type) {
+				return ast.Unparen(x.X)
+			}
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && isResponsePtr(tv.Type) {
+				return ast.Unparen(x.X)
+			}
+			e = ast.Unparen(x.X)
+		default:
+			return nil
+		}
+	}
+}
+
+// fresh reports whether root is a local variable of the enclosing
+// function whose every assigned value is a freshly allocated Response.
+func fresh(pass *analysis.Pass, stack []ast.Node, root ast.Expr) bool {
+	id, ok := root.(*ast.Ident)
+	if !ok {
+		return false // field, call result, map read... never provably fresh
+	}
+	obj, _ := objOf(pass, id).(*types.Var)
+	if obj == nil {
+		return false
+	}
+	fn := schedlint.EnclosingFunc(stack)
+	if fn == nil || !schedlint.DeclaredWithin(obj, fn) {
+		return false // parameter, captured or global
+	}
+	// Parameters are declared within the function node's extent too;
+	// require at least one fresh assignment and no non-fresh ones.
+	sawFresh, sawOther := false, false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				lid, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || objOf(pass, lid) != types.Object(obj) {
+					continue
+				}
+				if i < len(s.Rhs) && len(s.Lhs) == len(s.Rhs) && freshAlloc(pass, s.Rhs[i]) {
+					sawFresh = true
+				} else if i < len(s.Rhs) && len(s.Lhs) == len(s.Rhs) && isNilExpr(pass, s.Rhs[i]) {
+					// Assigning nil (e.g. clearing a named result in a panic
+					// recovery defer) cannot alias a shared Response.
+				} else {
+					sawOther = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range s.Names {
+				if pass.TypesInfo.Defs[name] != types.Object(obj) {
+					continue
+				}
+				if i < len(s.Values) && freshAlloc(pass, s.Values[i]) {
+					sawFresh = true
+				} else if len(s.Values) > 0 {
+					sawOther = true
+				}
+				// var resp *Response (no init) counts as neither: writes
+				// before a fresh assignment would be nil derefs anyway.
+			}
+		}
+		return true
+	})
+	return sawFresh && !sawOther
+}
+
+// freshAlloc matches &Response{...}, &service.Response{...} and
+// new(Response).
+func freshAlloc(pass *analysis.Pass, rhs ast.Expr) bool {
+	switch e := ast.Unparen(rhs).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		cl, ok := e.X.(*ast.CompositeLit)
+		if !ok {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[cl]
+		return ok && isResponsePtr(types.NewPointer(tv.Type))
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(e.Fun).(*ast.Ident)
+		if !ok || id.Name != "new" {
+			return false
+		}
+		if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && isResponsePtr(tv.Type)
+	}
+	return false
+}
+
+func isNilExpr(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Nil)
+	return ok
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

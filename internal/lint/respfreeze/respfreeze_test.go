@@ -1,0 +1,12 @@
+package respfreeze_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint/analysis/analysistest"
+	"treesched/internal/lint/respfreeze"
+)
+
+func TestRespFreeze(t *testing.T) {
+	analysistest.Run(t, "testdata", respfreeze.Analyzer, "./src/r")
+}

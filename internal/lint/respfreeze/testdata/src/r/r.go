@@ -1,0 +1,61 @@
+// Package r is the respfreeze fixture: it imports the real
+// treesched/internal/service and exercises the frozen-response
+// contract in both directions.
+package r
+
+import (
+	"errors"
+
+	"treesched/internal/service"
+)
+
+var errSolve = errors.New("solve failed")
+
+// A parameter may alias a cached response — writes are forbidden.
+func flagParam(r *service.Response) {
+	r.Profit = 1 // want `write through \*service\.Response r that was not built in this function`
+}
+
+// A cache read is exactly the shape that aliases shared state.
+func flagCacheRead(cache map[string]*service.Response, k string) {
+	cache[k].Scheduled = 2 // want `write through \*service\.Response`
+}
+
+// Increments are writes too.
+func flagIncrement(r *service.Response) {
+	r.Demands++ // want `write through \*service\.Response r that was not built in this function`
+}
+
+// A freshly built response may be filled before it is shared.
+func okFresh(profit float64) *service.Response {
+	resp := &service.Response{Profit: profit}
+	resp.Scheduled = 1
+	resp.Algorithm = "greedy"
+	return resp
+}
+
+// new() allocates fresh too.
+func okNew() *service.Response {
+	resp := new(service.Response)
+	resp.Demands = 3
+	return resp
+}
+
+// Clearing a named result in a panic-recovery defer assigns nil, which
+// cannot alias a shared Response and keeps the variable fresh (the
+// Engine.execute idiom).
+func okRecoverClear() (resp *service.Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, errSolve
+		}
+	}()
+	resp = &service.Response{}
+	resp.Scheduled = 4
+	return resp, nil
+}
+
+// The audited escape: the rationale must argue pre-publication.
+func okAnnotated(r *service.Response) {
+	r.Bound = 0 //schedlint:mutable helper runs before the response enters any cache; sole reference is the caller's local
+}

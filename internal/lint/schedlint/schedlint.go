@@ -1,0 +1,221 @@
+// Package schedlint holds what the five analyzers share: the roster of
+// determinism-critical packages, the //schedlint: escape-hatch
+// directive grammar, and small AST/type helpers.
+//
+// # Escape hatches
+//
+// Every analyzer has exactly one annotation verb, and every annotation
+// must carry a one-line rationale — the point is an audited exception,
+// not a mute button:
+//
+//	//schedlint:ordered <why this map iteration is order-insensitive>
+//	//schedlint:statsonly <why this clock/rand read cannot reach outputs>
+//	//schedlint:owned <why this captured write is slot-owned or disjoint>
+//	//schedlint:nonnil <why this receiver/value is provably non-nil here>
+//	//schedlint:mutable <why this Response is not yet shared>
+//
+// A directive applies to the flagged line when written at the end of
+// that line or on the line directly above it. A directive with no
+// rationale is itself a diagnostic.
+//
+// The additional file-scope directive `//schedlint:critical` opts a
+// package into the determinism-critical set regardless of import path
+// (used by new packages that want coverage before joining the roster,
+// and by the analyzers' own test fixtures).
+package schedlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"treesched/internal/lint/analysis"
+)
+
+// CriticalPrefixes is the determinism-critical package roster: the
+// packages whose outputs must be byte-identical across engines, worker
+// counts and cache states. A package is in scope when its import path
+// equals a prefix or sits beneath one (so internal/online/trace rides
+// on internal/online).
+var CriticalPrefixes = []string{
+	"treesched/internal/core",
+	"treesched/internal/model",
+	"treesched/internal/dist",
+	"treesched/internal/conflict",
+	"treesched/internal/mis",
+	"treesched/internal/lp",
+	"treesched/internal/layered",
+	"treesched/internal/online",
+}
+
+// prefix is the directive marker. Like all Go tool directives there is
+// no space after "//".
+const prefix = "//schedlint:"
+
+// Directive is one parsed //schedlint: comment.
+type Directive struct {
+	Verb   string // "ordered", "statsonly", ...
+	Reason string // rest of the line, trimmed
+	Pos    token.Pos
+}
+
+// Directives indexes every //schedlint: comment of a pass by file and
+// line, for the at-or-above lookup the analyzers use.
+type Directives struct {
+	fset     *token.FileSet
+	byLine   map[string]map[int]Directive
+	critical bool
+}
+
+// ParseDirectives scans all comments of the pass. Directives on lines
+// of _test.go files are indexed too (harmless: analyzers skip test
+// files before consulting them).
+func ParseDirectives(pass *analysis.Pass) *Directives {
+	d := &Directives{fset: pass.Fset, byLine: map[string]map[int]Directive{}}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				verb, reason, _ := strings.Cut(text, " ")
+				if verb == "critical" {
+					d.critical = true
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				lines := d.byLine[p.Filename]
+				if lines == nil {
+					lines = map[int]Directive{}
+					d.byLine[p.Filename] = lines
+				}
+				lines[p.Line] = Directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()}
+			}
+		}
+	}
+	return d
+}
+
+// Critical reports whether any file of the pass carries the
+// //schedlint:critical opt-in.
+func (d *Directives) Critical() bool { return d.critical }
+
+// At returns the directive covering pos — same line or the line
+// directly above — if its verb matches.
+func (d *Directives) At(pos token.Pos, verb string) (Directive, bool) {
+	p := d.fset.Position(pos)
+	lines := d.byLine[p.Filename]
+	if lines == nil {
+		return Directive{}, false
+	}
+	for _, line := range [...]int{p.Line, p.Line - 1} {
+		if dir, ok := lines[line]; ok && dir.Verb == verb {
+			return dir, true
+		}
+	}
+	return Directive{}, false
+}
+
+// Allow is the analyzer-side escape-hatch check: if pos carries the
+// verb's directive with a rationale it returns true; a directive with
+// no rationale is reported and still suppresses the underlying finding
+// (the annotation is present, just incomplete).
+func (d *Directives) Allow(pass *analysis.Pass, pos token.Pos, verb string) bool {
+	dir, ok := d.At(pos, verb)
+	if !ok {
+		return false
+	}
+	if dir.Reason == "" {
+		pass.Reportf(dir.Pos, "//schedlint:%s needs a one-line rationale after the verb", verb)
+	}
+	return true
+}
+
+// InCriticalScope reports whether the pass's package is on the
+// determinism-critical roster (or opted in via //schedlint:critical).
+func InCriticalScope(pass *analysis.Pass, dirs *Directives) bool {
+	if dirs.Critical() {
+		return true
+	}
+	path := pass.Pkg.Path()
+	// go vet type-checks external test packages as "<path>_test" and
+	// test binaries as "<path>.test"; scope them with their subject.
+	path = strings.TrimSuffix(strings.TrimSuffix(path, "_test"), ".test")
+	for _, p := range CriticalPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether pos lies in a _test.go file. The contracts
+// cover solver and serving code; tests range maps and read clocks
+// freely.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// PkgFunc resolves a call expression's callee to (package path,
+// function name) when it is a package-level function selected via its
+// package (time.Now, par.Each, rand.Float64...).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", "", false
+	}
+	// Require a package qualifier (not a method or a field of func type).
+	if id, okID := ast.Unparen(sel.X).(*ast.Ident); okID {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return obj.Pkg().Path(), obj.Name(), true
+		}
+	}
+	return "", "", false
+}
+
+// WalkStack walks the file like ast.Inspect but hands the visitor the
+// stack of enclosing nodes (outermost first, not including n itself).
+func WalkStack(root ast.Node, visit func(stack []ast.Node, n ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := visit(stack, n)
+		if !descend {
+			// Children are skipped, so ast.Inspect sends no closing nil
+			// for n — don't push it.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// in stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// DeclaredWithin reports whether obj's declaration position lies inside
+// node's extent — the "captured vs local" test for closures.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() != token.NoPos && obj.Pos() >= node.Pos() && obj.Pos() <= node.End()
+}

@@ -1,0 +1,272 @@
+// Package sharddiscipline checks the closures handed to the par
+// fan-out helpers (par.Each, par.Shards, par.Go) against the rule that
+// makes their results worker-count-invariant: a shard closure may
+// write only through storage it owns — closure-local variables, or
+// slots of captured slices reached through an index derived inside the
+// closure (the shard index or bounds).
+//
+// Flagged inside such closures:
+//
+//   - writes to captured scalars/slices/interfaces (x = ..., x++,
+//     xs = append(xs, ...)) — racy and order-dependent;
+//   - writes into captured maps (m[k] = v) — the map's internal state
+//     is shared and unsynchronized;
+//   - writes to fields of captured structs and through captured
+//     pointers — shared unless proven disjoint;
+//   - captured-slice element writes whose index does not mention any
+//     closure-local variable (out[0] = v races across shards).
+//
+// The escape hatch is //schedlint:owned <reason>, whose rationale must
+// argue slot ownership or disjointness (par.Go thunks writing distinct
+// fields of one struct are the canonical audited case). Calls through
+// sync/atomic or mutexes are not writes in the AST sense and pass
+// untouched — the analyzer polices the unsynchronized direct-write
+// idiom the compile pipeline is built from.
+package sharddiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/schedlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "sharddiscipline",
+	Doc:  "restricts closures passed to par.Each/par.Shards/par.Go to index-owned slot writes",
+	Run:  run,
+}
+
+// parPath is the fan-out helper package whose callees are checked.
+const parPath = "treesched/internal/par"
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := schedlint.ParseDirectives(pass)
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		lits := localFuncLits(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := schedlint.PkgFunc(pass.TypesInfo, call)
+			if !ok || pkg != parPath {
+				return true
+			}
+			switch name {
+			case "Each", "Shards", "Go":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				lit := resolveFuncLit(pass, lits, arg)
+				if lit != nil {
+					checkClosure(pass, dirs, name, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// localFuncLits maps variables to the function literal they are bound
+// to (`fn := func(...){...}` / `var fn = func(...){...}`), so naming a
+// closure before passing it to par doesn't evade the check.
+func localFuncLits(pass *analysis.Pass, f *ast.File) map[types.Object]*ast.FuncLit {
+	lits := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+					if obj := objOf(pass, id); obj != nil {
+						lits[obj] = lit
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range s.Names {
+				if i >= len(s.Values) {
+					break
+				}
+				if lit, ok := ast.Unparen(s.Values[i]).(*ast.FuncLit); ok {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						lits[obj] = lit
+					}
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+func resolveFuncLit(pass *analysis.Pass, lits map[types.Object]*ast.FuncLit, arg ast.Expr) *ast.FuncLit {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return a
+	case *ast.Ident:
+		if obj := objOf(pass, a); obj != nil {
+			return lits[obj]
+		}
+	}
+	return nil
+}
+
+// checkClosure walks one shard closure's body and reports every write
+// that escapes slot ownership.
+func checkClosure(pass *analysis.Pass, dirs *schedlint.Directives, helper string, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Defs[id] != nil {
+					continue // new declaration, closure-local by construction
+				}
+				reportWrite(pass, dirs, helper, lit, lhs)
+			}
+		case *ast.IncDecStmt:
+			reportWrite(pass, dirs, helper, lit, s.X)
+		}
+		return true
+	})
+}
+
+// Write-path verdicts.
+type verdict int
+
+const (
+	ownedLocal     verdict = iota // rooted in closure-local storage
+	ownedSlot                     // reached an indexed slot of a captured slice
+	capturedVar                   // captured scalar/slice/interface variable
+	capturedMap                   // indexing into a captured map
+	capturedField                 // field of a captured struct
+	capturedPtr                   // through a captured pointer
+	capturedNoSlot                // captured-slice element, index not closure-derived
+)
+
+var verdictMsg = map[verdict]string{
+	capturedVar:    "writes captured variable %s",
+	capturedMap:    "writes into captured map %s",
+	capturedField:  "writes a field of captured %s",
+	capturedPtr:    "writes through captured pointer %s",
+	capturedNoSlot: "writes captured slice %s at an index not derived inside the closure",
+}
+
+func reportWrite(pass *analysis.Pass, dirs *schedlint.Directives, helper string, lit *ast.FuncLit, lhs ast.Expr) {
+	v, root := classify(pass, lit, lhs)
+	msg, bad := verdictMsg[v]
+	if !bad {
+		return
+	}
+	if dirs.Allow(pass, lhs.Pos(), "owned") {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "par.%s closure "+msg+": shard closures may write only index-owned slots; restructure or annotate //schedlint:owned <reason>", helper, root)
+}
+
+// classify resolves the ownership of a write path. It walks the access
+// path left-to-right from its root: field selections preserve
+// ownership, an index into a slice confers slot ownership (when the
+// index mentions a closure-local variable), an index into a map keeps
+// map semantics (shared structure), a deref follows the pointer's
+// ownership, and call results are treated as local (untrackable).
+func classify(pass *analysis.Pass, lit *ast.FuncLit, e ast.Expr) (verdict, string) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := objOf(pass, x)
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ownedLocal, ""
+		}
+		if schedlint.DeclaredWithin(v, lit) {
+			return ownedLocal, ""
+		}
+		return capturedVar, x.Name
+	case *ast.SelectorExpr:
+		// Package-qualified global (pkg.Var) or field path (x.f.g).
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+				return capturedVar, types.ExprString(x)
+			}
+		}
+		v, root := classify(pass, lit, x.X)
+		switch v {
+		case capturedVar:
+			return capturedField, root
+		default:
+			return v, root
+		}
+	case *ast.IndexExpr:
+		baseV, root := classify(pass, lit, x.X)
+		tv, ok := pass.TypesInfo.Types[x.X]
+		if !ok {
+			return ownedLocal, ""
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			switch baseV {
+			case capturedVar, capturedField, capturedPtr, capturedNoSlot:
+				return capturedMap, root
+			}
+			return baseV, root
+		default: // slice, array, pointer-to-array
+			switch baseV {
+			case capturedVar, capturedField, capturedPtr:
+				if indexMentionsLocal(pass, lit, x.Index) {
+					return ownedSlot, root
+				}
+				return capturedNoSlot, root
+			}
+			return baseV, root
+		}
+	case *ast.StarExpr:
+		v, root := classify(pass, lit, x.X)
+		switch v {
+		case capturedVar, capturedField:
+			return capturedPtr, root
+		}
+		return v, root
+	default:
+		// Call results, type assertions, channel receives: no static
+		// ownership story — leave them to the race detector.
+		return ownedLocal, ""
+	}
+}
+
+// indexMentionsLocal reports whether the index expression references at
+// least one variable declared inside the closure — the shard index, or
+// bounds derived from it.
+func indexMentionsLocal(pass *analysis.Pass, lit *ast.FuncLit, idx ast.Expr) bool {
+	found := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if v, ok := objOf(pass, id).(*types.Var); ok && schedlint.DeclaredWithin(v, lit) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) types.Object {
+	if o := pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Defs[id]
+}

@@ -1,0 +1,12 @@
+package sharddiscipline_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint/analysis/analysistest"
+	"treesched/internal/lint/sharddiscipline"
+)
+
+func TestShardDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", sharddiscipline.Analyzer, "./src/s")
+}

@@ -1,0 +1,115 @@
+// Package s is the sharddiscipline fixture. It imports the real
+// treesched/internal/par so the analyzer sees the exact callee paths it
+// polices in the compile pipeline (the cross-package case).
+package s
+
+import "treesched/internal/par"
+
+// Captured-map and captured-scalar writes race across shards.
+func flagSharedWrites(xs []int) (map[int]int, int) {
+	m := map[int]int{}
+	total := 0
+	par.Each(4, len(xs), func(i int) {
+		m[i] = xs[i]   // want `par.Each closure writes into captured map m`
+		total += xs[i] // want `par.Each closure writes captured variable total`
+	})
+	return m, total
+}
+
+// Append reassigns the captured slice header: racy and order-dependent.
+func flagAppend(xs []int) []int {
+	var out []int
+	par.Shards(4, len(xs), 8, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out = append(out, xs[j]) // want `par.Shards closure writes captured variable out`
+		}
+	})
+	return out
+}
+
+// A fixed index into a captured slice is not slot ownership.
+func flagFixedIndex(xs []int) []int {
+	out := make([]int, 1)
+	par.Each(2, len(xs), func(i int) {
+		out[0] = xs[i] // want `par.Each closure writes captured slice out at an index not derived inside the closure`
+	})
+	return out
+}
+
+// Naming the closure first does not evade the check.
+func flagNamed(xs []int) map[int]int {
+	m := map[int]int{}
+	fn := func(i int) {
+		m[i] = xs[i] // want `par.Each closure writes into captured map m`
+	}
+	par.Each(2, len(xs), fn)
+	return m
+}
+
+// Index-owned slot writes are the sanctioned shard idiom.
+func okSlots(xs []int) []int {
+	out := make([]int, len(xs))
+	par.Each(4, len(xs), func(i int) {
+		out[i] = xs[i] * 2
+	})
+	return out
+}
+
+// Shard ranges own [lo,hi): every write index derives from the bounds.
+func okShards(xs []int) []int {
+	out := make([]int, len(xs))
+	par.Shards(4, len(xs), 8, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = xs[j] + 1
+		}
+	})
+	return out
+}
+
+// Closure-local state is owned by construction.
+func okLocals(xs []int, sums []int) {
+	par.Shards(4, len(xs), 8, func(lo, hi int) {
+		acc := 0
+		for j := lo; j < hi; j++ {
+			acc += xs[j]
+		}
+		sums[lo] = acc
+	})
+}
+
+// par.Go thunks writing disjoint captured slots carry the audited
+// annotation (the model.finalize idiom).
+func okAnnotatedGo(xs []int) (int, int) {
+	var lo, hi int
+	par.Go(2,
+		func() {
+			//schedlint:owned sole writer of lo; read only after par.Go returns
+			lo = min(xs)
+		},
+		func() {
+			//schedlint:owned sole writer of hi; read only after par.Go returns
+			hi = max(xs)
+		},
+	)
+	return lo, hi
+}
+
+func min(xs []int) int {
+	m := 0
+	for i, v := range xs {
+		if i == 0 || v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func max(xs []int) int {
+	m := 0
+	for i, v := range xs {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,51 @@
+// Package w is the wallclock fixture: clock reads and global rand
+// draws (flagged), seeded generators and annotated stats reads
+// (allowed).
+package w
+
+import (
+	"math/rand"
+	"time"
+)
+
+//schedlint:critical
+
+// Reading the wall clock in solver code breaks run-to-run determinism.
+func flagNow() int64 {
+	return time.Now().UnixNano() // want `time.Now in determinism-critical package`
+}
+
+// time.Since is a clock read too.
+func flagSince(t0 time.Time) int64 {
+	return time.Since(t0).Nanoseconds() // want `time.Since in determinism-critical package`
+}
+
+// The global math/rand stream is seeded from outside the solver's
+// control.
+func flagGlobalRand(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the global math/rand stream`
+}
+
+// A seeded *rand.Rand is the sanctioned randomness: the constructors
+// are exempt and its methods resolve to a receiver, not the package.
+func okSeeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Formatting a caller-supplied time is not a clock read.
+func okFormat(t0 time.Time) string {
+	return t0.Format(time.RFC3339)
+}
+
+// The audited escape hatch for genuinely stats-only timing.
+func okAnnotated() int64 {
+	begin := time.Now() //schedlint:statsonly phase timing exported via stats; never read back into solver state
+	return begin.UnixNano()
+}
+
+// A bare directive suppresses but is flagged for its missing rationale.
+func okBareDirective() time.Time {
+	// want+1 `//schedlint:statsonly needs a one-line rationale`
+	return time.Now() //schedlint:statsonly
+}

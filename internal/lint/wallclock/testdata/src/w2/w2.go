@@ -1,0 +1,7 @@
+// Package w2 is out of scope (no roster match, no critical opt-in):
+// harness and CLI code may read the clock freely.
+package w2
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }

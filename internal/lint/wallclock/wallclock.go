@@ -1,0 +1,89 @@
+// Package wallclock forbids nondeterministic value sources — the wall
+// clock and the global math/rand stream — in determinism-critical
+// packages.
+//
+// The solvers' byte-identical-schedule guarantee dies the moment a
+// time.Now or an unseeded random draw can influence an output, so in
+// the critical roster every use of time.Now/Since/Until and every
+// math/rand package-level draw is a finding. Seeded *rand.Rand values
+// (rand.New(rand.NewSource(seed)) threaded from Options.Seed) are the
+// repo's sanctioned randomness and stay legal: only the constructors
+// New/NewSource (and the v2 PCG/ChaCha8 equivalents) are exempt, since
+// they produce deterministic streams from explicit seeds.
+//
+// Genuinely stats-only clock reads (build-phase timing, BSP superstep
+// wall-time) are annotated //schedlint:statsonly <reason>; the reason
+// must argue the value cannot flow into solver outputs, and for
+// model.BuildStats that argument is additionally pinned by
+// TestBuildStatsDoesNotInfluenceModel.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"treesched/internal/lint/analysis"
+	"treesched/internal/lint/schedlint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Until and global math/rand draws in determinism-critical packages",
+	Run:  run,
+}
+
+// timeFuncs are the clock reads that leak wall time as values.
+// (time.Sleep changes timing, not values, and the solvers never call
+// it; add it here if that changes.)
+var timeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededConstructors build deterministic generators from explicit
+// seeds and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	dirs := schedlint.ParseDirectives(pass)
+	if !schedlint.InCriticalScope(pass, dirs) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if schedlint.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only package-qualified references: methods on a seeded
+			// *rand.Rand (rng.Float64()) resolve to a receiver, not a
+			// PkgName, and stay legal.
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); !isPkg {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if timeFuncs[obj.Name()] && !dirs.Allow(pass, sel.Pos(), "statsonly") {
+					pass.Reportf(sel.Pos(), "time.%s in determinism-critical package: wall time must not reach solver state; thread timing through stats hooks and annotate //schedlint:statsonly <reason>", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[obj.Name()] && !dirs.Allow(pass, sel.Pos(), "statsonly") {
+					pass.Reportf(sel.Pos(), "%s.%s draws from the global math/rand stream: use a seeded *rand.Rand from Options.Seed, or annotate //schedlint:statsonly <reason>", obj.Pkg().Name(), obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"treesched/internal/lint/analysis/analysistest"
+	"treesched/internal/lint/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "./src/w", "./src/w2")
+}

@@ -119,7 +119,7 @@ type BuildStats struct {
 // phase records the elapsed time since *last into dst and resets *last —
 // the four calls a Build makes cost nanoseconds next to any phase.
 func (s *BuildStats) phase(dst *int64, last *time.Time) {
-	now := time.Now()
+	now := time.Now() //schedlint:statsonly BuildStats is observational; TestBuildStatsDoesNotInfluenceModel pins that it never shapes the model
 	*dst += now.Sub(*last).Nanoseconds()
 	*last = now
 }
@@ -159,7 +159,7 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 	if stats == nil {
 		stats = &BuildStats{} // throwaway: keeps the phase marks branch-free
 	}
-	last := time.Now()
+	last := time.Now() //schedlint:statsonly phase-mark anchor for BuildStats; model bytes are clock-independent
 	begin := last
 
 	var asg *layered.Assignment
@@ -204,7 +204,7 @@ func Build(p *instance.Problem, opts Options) (*Model, error) {
 		return nil, err
 	}
 	stats.phase(&stats.IndexNs, &last)
-	stats.TotalNs += time.Since(begin).Nanoseconds()
+	stats.TotalNs += time.Since(begin).Nanoseconds() //schedlint:statsonly BuildStats.TotalNs is observational only
 	return m, nil
 }
 
@@ -253,10 +253,12 @@ func (m *Model) finalize(workers int) error {
 	var checkErr error
 	par.Go(workers,
 		func() {
+			//schedlint:owned this thunk is the sole writer of m.InstsOf; m is local to finalize's caller chain
 			m.InstsOf = BucketCSR(m.NumDemands, len(m.Insts), func(i int32) int32 {
 				return m.Insts[i].Demand
 			})
 		},
+		//schedlint:owned sole writer of checkErr; read only after par.Go returns
 		func() { checkErr = m.check() },
 	)
 	if checkErr != nil {
@@ -266,10 +268,12 @@ func (m *Model) finalize(workers int) error {
 	// only see validated groups and edge ids.
 	par.Go(workers,
 		func() {
+			//schedlint:owned sole writer of m.GroupInsts; sibling thunk writes only m.EdgeInsts
 			m.GroupInsts = BucketCSR(m.NumGroups, len(m.Insts), func(i int32) int32 {
 				return m.Group[i] - 1
 			})
 		},
+		//schedlint:owned sole writer of m.EdgeInsts; sibling thunk writes only m.GroupInsts
 		func() { m.EdgeInsts = InvertCSR(&m.Paths, m.EdgeSpace) },
 	)
 	return nil

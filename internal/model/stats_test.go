@@ -1,0 +1,46 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treesched/internal/gen"
+	"treesched/internal/instance"
+	"treesched/internal/treedecomp"
+)
+
+// TestBuildStatsDoesNotInfluenceModel pins the //schedlint:statsonly
+// rationale on Build's clock reads: BuildStats is pure observation, so
+// a model built with stats collection attached must be deeply identical
+// to one built without. If a timing value ever leaked into compilation
+// (a phase ordered by elapsed time, a capacity rounded by a timestamp),
+// this test fails before the wallclock annotation goes stale.
+func TestBuildStatsDoesNotInfluenceModel(t *testing.T) {
+	problems := map[string]*instance.Problem{
+		"tree": gen.TreeProblem(gen.TreeConfig{N: 30, Trees: 3, Demands: 20, Unit: true}, rand.New(rand.NewSource(7))),
+		"line": gen.LineProblem(gen.LineConfig{Slots: 40, Resources: 2, Demands: 15, Unit: true}, rand.New(rand.NewSource(7))),
+	}
+	for name, p := range problems {
+		opts := Options{}
+		if p.Kind == instance.KindTree {
+			opts.DecompKind = treedecomp.KindIdeal
+		}
+		bare, err := Build(p, opts)
+		if err != nil {
+			t.Fatalf("%s: build without stats: %v", name, err)
+		}
+		stats := &BuildStats{}
+		opts.Stats = stats
+		observed, err := Build(p, opts)
+		if err != nil {
+			t.Fatalf("%s: build with stats: %v", name, err)
+		}
+		if stats.TotalNs <= 0 {
+			t.Errorf("%s: stats were not collected (TotalNs=%d)", name, stats.TotalNs)
+		}
+		if !reflect.DeepEqual(bare, observed) {
+			t.Errorf("%s: model built with BuildStats attached differs from one built without", name)
+		}
+	}
+}

@@ -279,15 +279,28 @@ func NewRecorder(cfg RecorderConfig) *Recorder {
 	return r
 }
 
-// SlowNs reports the slow-class threshold.
-func (r *Recorder) SlowNs() int64 { return r.cfg.SlowNs }
+// SlowNs reports the slow-class threshold, 0 on a nil recorder.
+func (r *Recorder) SlowNs() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cfg.SlowNs
+}
 
-// Sampling reports whether span trees are being recorded at all.
-func (r *Recorder) Sampling() bool { return r.cfg.Sample > 0 }
+// Sampling reports whether span trees are being recorded at all;
+// a nil recorder samples nothing.
+func (r *Recorder) Sampling() bool {
+	if r == nil {
+		return false
+	}
+	return r.cfg.Sample > 0
+}
 
 // NextID mints a recorder-scoped request id ("r-N") for requests that
 // arrived without one. One buffer, one allocation — this runs on the
 // per-request hot path for every API caller that sends no id.
+//
+//schedlint:nonnil ids are meaningless without recorder state; the sole call site (http.go) checks e.rec != nil first
 func (r *Recorder) NextID() string {
 	n := r.idSeq.Add(1)
 	var b [22]byte
@@ -307,6 +320,8 @@ func (r *Recorder) NextID() string {
 
 // splitmix64 advances the retention-sampling stream: deterministic for
 // a fresh recorder, independent of request timing.
+//
+//schedlint:nonnil only reachable from BeginAt past its own nil guard
 func (r *Recorder) rollDice() float64 {
 	z := r.dice.Add(0x9E3779B97F4A7C15)
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9

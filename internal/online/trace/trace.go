@@ -269,9 +269,9 @@ func Replay(tr *Trace) ([]Outcome, *online.Session, error) {
 	}
 	outcomes := make([]Outcome, 0, len(tr.Events))
 	for i, ev := range tr.Events {
-		begin := time.Now()
+		begin := time.Now() //schedlint:statsonly per-event latency for Outcome.LatencyNS reporting only
 		sched, err := s.Apply(ev)
-		lat := time.Since(begin).Nanoseconds()
+		lat := time.Since(begin).Nanoseconds() //schedlint:statsonly Outcome.LatencyNS is reporting-only; schedules ignore it
 		if err != nil {
 			return nil, nil, fmt.Errorf("trace: event %d (%s): %w", i, ev.Op, err)
 		}

@@ -758,7 +758,18 @@ func (e *Engine) execute(ctx context.Context, rq *obs.Req, req *Request, hash, k
 	}
 	rq.SetPhase(obs.PhaseRespond)
 
-	resp = &Response{
+	resp = buildResponse(req, c, res, dres)
+	e.results.add(key, resp)
+	return resp, nil
+}
+
+// buildResponse assembles the complete, final Response for a solved
+// request. It is the single point where responses are constructed: the
+// pointer it returns enters the memoization cache and is shared by every
+// future equal request, so no field may be written after it returns
+// (the respfreeze analyzer enforces this).
+func buildResponse(req *Request, c *core.Compiled, res *core.Result, dres *core.DistributedResult) *Response {
+	resp := &Response{
 		Algorithm:      res.Name,
 		Scenario:       req.Scenario,
 		Profit:         res.Profit,
@@ -779,8 +790,7 @@ func (e *Engine) execute(ctx context.Context, rq *obs.Req, req *Request, hash, k
 		resp.Aggregations = dres.Net.Aggregations
 		resp.PayloadEntries = dres.Net.Entries
 	}
-	e.results.add(key, resp)
-	return resp, nil
+	return resp
 }
 
 // compiledFor returns the compiled model for the hashed problem,
